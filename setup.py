@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `pip install -e . --no-use-pep517`
+(or plain `pip install -e .` on modern toolchains) uses this file."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro: a full reproduction of Mint (ASPLOS 2025).
+
+Mint is a cost-efficient distributed tracing framework that replaces
+'1 or 0' trace sampling with a 'commonality + variability' paradigm:
+traces are parsed into shared patterns (kept for *all* requests at very
+low cost) and variable parameters (uploaded only for sampled requests),
+so every trace remains at least approximately queryable.
+
+Quick start::
+
+    from repro import MintFramework
+    from repro.workloads import build_onlineboutique, WorkloadDriver
+
+    mint = MintFramework()
+    driver = WorkloadDriver(build_onlineboutique(), seed=1)
+    for now, trace in driver.traces(1000):
+        mint.process_trace(trace, now)
+    mint.finalize(0.0)
+    result = mint.query_full(trace.trace_id)   # exact or approximate
+
+Package map: :mod:`repro.model` (trace data model),
+:mod:`repro.parsing` (the two-level commonality/variability parsers),
+:mod:`repro.bloom` (Bloom filters), :mod:`repro.agent` /
+:mod:`repro.backend` (the Mint runtime), :mod:`repro.baselines`
+(OT-Full/Head/Tail, Hindsight, Sieve), :mod:`repro.compression`
+(LogZip/LogReducer/CLP and Mint's lossless compressor),
+:mod:`repro.rca` (MicroRank, TraceRCA, TraceAnomaly),
+:mod:`repro.workloads` (OnlineBoutique, TrainTicket, Alibaba datasets),
+:mod:`repro.sim` (meters, experiment and load-test harnesses).
+"""
+
+from repro.agent.config import MintConfig
+from repro.baselines.mint_framework import MintFramework
+from repro.baselines.otel import OTFull, OTHead, OTTail
+from repro.baselines.hindsight import Hindsight
+from repro.baselines.sieve import Sieve
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import SubTrace, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MintConfig",
+    "MintFramework",
+    "OTFull",
+    "OTHead",
+    "OTTail",
+    "Hindsight",
+    "Sieve",
+    "Span",
+    "SpanKind",
+    "SpanStatus",
+    "Trace",
+    "SubTrace",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Mint agent-side components (paper Sections 3.4, 4.1, 4.2).
+
+The agent is where Mint departs from '1 or 0' sampling: every incoming
+sub-trace is parsed into patterns (kept cheaply, for all traces) and
+parameters (buffered, uploaded only for sampled traces).
+"""
+
+from repro.agent.config import MintConfig
+from repro.agent.params_buffer import ParamsBuffer
+from repro.agent.pattern_library import MountedTopoLibrary
+from repro.agent.reports import (
+    BloomReport,
+    ParamsReport,
+    PatternLibraryReport,
+    Report,
+)
+from repro.agent.samplers import (
+    EdgeCaseSampler,
+    HeadSampler,
+    Sampler,
+    SymptomSampler,
+    TailSampler,
+)
+from repro.agent.agent import MintAgent
+from repro.agent.collector import MintCollector
+
+__all__ = [
+    "MintConfig",
+    "ParamsBuffer",
+    "MountedTopoLibrary",
+    "Report",
+    "PatternLibraryReport",
+    "BloomReport",
+    "ParamsReport",
+    "Sampler",
+    "SymptomSampler",
+    "EdgeCaseSampler",
+    "HeadSampler",
+    "TailSampler",
+    "MintAgent",
+    "MintCollector",
+]

@@ -1,0 +1,180 @@
+"""The Mint agent: per-node parsing, mounting, buffering and sampling.
+
+Ties together the walkthrough of paper Fig. 5: raw spans are redirected
+to the Span Parser (step 2), grouped into sub-traces for the Trace
+Parser (step 3), their metadata mounted on topo patterns via Bloom
+filters, parameters buffered (step 4), and the two samplers consulted
+(step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.agent.config import MintConfig
+from repro.agent.params_buffer import ParamsBuffer
+from repro.agent.pattern_library import FlushedBloom, MountedTopoLibrary
+from repro.agent.samplers import EdgeCaseSampler, Sampler, SymptomSampler
+from repro.model.span import Span
+from repro.model.trace import SubTrace
+from repro.parsing.span_parser import SpanParser, SpanPattern
+from repro.parsing.trace_parser import ParsedSubTrace, TraceParser, extract_topo_pattern
+
+
+@dataclass
+class IngestResult:
+    """Outcome of processing one sub-trace on the agent."""
+
+    trace_id: str
+    node: str
+    topo_pattern_id: str
+    sampled: bool
+    fired_samplers: list[str] = field(default_factory=list)
+    parsed: ParsedSubTrace | None = None
+
+
+class MintAgent:
+    """One Mint agent instance, owning the per-node state."""
+
+    def __init__(
+        self,
+        node: str,
+        config: MintConfig | None = None,
+        on_bloom_flush: Callable[[FlushedBloom], None] | None = None,
+        extra_samplers: list[Sampler] | None = None,
+    ) -> None:
+        self.node = node
+        self.config = config or MintConfig()
+        self.span_parser = SpanParser(
+            similarity_threshold=self.config.similarity_threshold,
+            alpha=self.config.alpha,
+        )
+        self.trace_parser = TraceParser(self.span_parser)
+        # The mounted library wraps the trace parser's library so the
+        # edge-case sampler sees the same match counts.
+        self.mounted_library = MountedTopoLibrary(
+            node=node,
+            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
+            bloom_fpp=self.config.bloom_fpp,
+            on_flush=on_bloom_flush,
+            library=self.trace_parser.library,
+        )
+        self.params_buffer = ParamsBuffer(self.config.params_buffer_bytes)
+        self.symptom_sampler = SymptomSampler(
+            abnormal_words=self.config.abnormal_words,
+            percentile=self.config.symptom_percentile,
+            window=self.config.symptom_window,
+        )
+        self.edge_case_sampler = EdgeCaseSampler(
+            library=self.trace_parser.library,
+            base_rate=self.config.edge_case_base_rate,
+            seed=self.config.sampler_seed,
+        )
+        self.extra_samplers = list(extra_samplers or [])
+        self._warmed_up = False
+
+    @property
+    def is_warmed_up(self) -> bool:
+        """True once the offline warm-up stage has run."""
+        return self._warmed_up
+
+    def warm_up(self, spans: Iterable[Span]) -> None:
+        """Offline stage: build attribute parsers from sampled raw spans.
+
+        At most ``config.warmup_sample_size`` spans are used (the paper
+        samples m = 5,000).
+        """
+        sample = list(spans)[: self.config.warmup_sample_size]
+        self.span_parser.warm_up(sample)
+        self._warmed_up = True
+
+    def ingest(self, sub_trace: SubTrace) -> IngestResult:
+        """Process one sub-trace through the full agent pipeline."""
+        if sub_trace.node != self.node:
+            raise ValueError(
+                f"sub-trace for node {sub_trace.node!r} sent to agent {self.node!r}"
+            )
+        # Ranges are observed only after the sampling decision (below):
+        # a symptomatic trace's outlier values are uploaded exactly and
+        # must not distort the pattern's common-case display ranges.
+        parsed_spans = {
+            span.span_id: self.span_parser.parse(span, observe_ranges=False)
+            for span in sub_trace
+        }
+        topo_pattern = extract_topo_pattern(sub_trace, parsed_spans)
+        pattern_id = self.mounted_library.register_and_mount(
+            topo_pattern, sub_trace.trace_id
+        )
+        parsed = ParsedSubTrace(
+            trace_id=sub_trace.trace_id,
+            node=sub_trace.node,
+            topo_pattern_id=pattern_id,
+            parsed_spans=sorted(
+                parsed_spans.values(), key=lambda p: (p.start_time, p.span_id)
+            ),
+        )
+        for span in parsed.parsed_spans:
+            self.params_buffer.add(span)
+        fired: list[str] = []
+        if self.symptom_sampler.observe(sub_trace, parsed):
+            fired.append("symptom")
+        if self.edge_case_sampler.observe(sub_trace, parsed):
+            fired.append("edge-case")
+        for sampler in self.extra_samplers:
+            if sampler.observe(sub_trace, parsed):
+                fired.append(type(sampler).__name__)
+        if not fired:
+            library = self.span_parser.library
+            for span in parsed.parsed_spans:
+                for key, param in span.params.items():
+                    if not isinstance(param, list):
+                        library.observe_numeric(span.pattern_id, key, float(param))
+        return IngestResult(
+            trace_id=sub_trace.trace_id,
+            node=self.node,
+            topo_pattern_id=pattern_id,
+            sampled=bool(fired),
+            fired_samplers=fired,
+            parsed=parsed,
+        )
+
+    def reconstruct_patterns(self) -> None:
+        """The paper's 'reconstruct interface' (Section 4.1).
+
+        When the system changes (new releases, changed SQL, renamed
+        operations), previously learned patterns go stale; developers
+        trigger a rebuild.  The parsers and libraries are replaced with
+        fresh ones (subsequent traffic re-warms them); Bloom filters are
+        drained first so already-mounted metadata is not lost.
+        """
+        drained = self.mounted_library.drain_active_filters()
+        if self.mounted_library._on_flush is not None:
+            for flushed in drained:
+                self.mounted_library._on_flush(flushed)
+        self.span_parser = SpanParser(
+            similarity_threshold=self.config.similarity_threshold,
+            alpha=self.config.alpha,
+        )
+        self.trace_parser = TraceParser(self.span_parser)
+        self.mounted_library = MountedTopoLibrary(
+            node=self.node,
+            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
+            bloom_fpp=self.config.bloom_fpp,
+            on_flush=self.mounted_library._on_flush,
+            library=self.trace_parser.library,
+        )
+        self.edge_case_sampler = EdgeCaseSampler(
+            library=self.trace_parser.library,
+            base_rate=self.config.edge_case_base_rate,
+            seed=self.config.sampler_seed,
+        )
+        self._warmed_up = False
+
+    def span_patterns(self) -> list[SpanPattern]:
+        """All span patterns known to this agent."""
+        return self.span_parser.library.patterns()
+
+    def topo_library(self):
+        """The topo pattern library (shared with the edge-case sampler)."""
+        return self.trace_parser.library

@@ -1,0 +1,53 @@
+"""Configuration shared by the Mint agent, collector and backend.
+
+Defaults follow the paper's implementation notes: LCS similarity
+threshold 0.8, bucketing precision alpha 0.5, 4 KB Bloom filter buffers
+at fpp 0.01, a 4 MB Params Buffer, 60 s pattern report interval, and a
+5,000-span offline warm-up sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_ABNORMAL_WORDS = (
+    "error",
+    "exception",
+    "timeout",
+    "fail",
+    "failed",
+    "refused",
+    "500",
+    "502",
+    "503",
+)
+
+
+@dataclass(frozen=True)
+class MintConfig:
+    """Tunable parameters of a Mint deployment."""
+
+    similarity_threshold: float = 0.8
+    alpha: float = 0.5
+    bloom_buffer_bytes: int = 4096
+    bloom_fpp: float = 0.01
+    params_buffer_bytes: int = 4 * 1024 * 1024
+    pattern_report_interval_s: float = 60.0
+    warmup_sample_size: int = 5000
+    abnormal_words: tuple[str, ...] = DEFAULT_ABNORMAL_WORDS
+    symptom_percentile: float = 95.0
+    symptom_window: int = 512
+    edge_case_base_rate: float = 0.02
+    sampler_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.bloom_buffer_bytes <= 0:
+            raise ValueError("bloom_buffer_bytes must be positive")
+        if self.params_buffer_bytes <= 0:
+            raise ValueError("params_buffer_bytes must be positive")
+        if not 0.0 < self.symptom_percentile < 100.0:
+            raise ValueError("symptom_percentile must be in (0, 100)")

@@ -1,0 +1,113 @@
+"""Topo pattern library with Bloom-filter metadata mounting.
+
+Paper Section 3.3 / Fig. 8: each topo pattern carries a Bloom filter
+holding the metadata (trace ids) of every trace matched to it.  Filters
+are pre-sized to a fixed buffer (default 4 KB); when one fills up it is
+handed to the flush callback (the collector reports it immediately,
+paper Section 4.2) and replaced with a fresh filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bloom.bloom_filter import BloomFilter, sized_for_bytes
+from repro.parsing.trace_parser import TopoPattern, TopoPatternLibrary
+
+
+@dataclass
+class FlushedBloom:
+    """A full Bloom filter detached from its pattern, ready to report."""
+
+    topo_pattern_id: str
+    node: str
+    payload: bytes
+    inserted: int
+
+
+class MountedTopoLibrary:
+    """Combines a :class:`TopoPatternLibrary` with per-pattern filters."""
+
+    def __init__(
+        self,
+        node: str,
+        bloom_buffer_bytes: int = 4096,
+        bloom_fpp: float = 0.01,
+        on_flush: Callable[[FlushedBloom], None] | None = None,
+        library: TopoPatternLibrary | None = None,
+    ) -> None:
+        self.node = node
+        self.bloom_buffer_bytes = bloom_buffer_bytes
+        self.bloom_fpp = bloom_fpp
+        self.library = library if library is not None else TopoPatternLibrary()
+        self._filters: dict[str, BloomFilter] = {}
+        self._on_flush = on_flush
+        self._flushed_count = 0
+
+    def __len__(self) -> int:
+        return len(self.library)
+
+    @property
+    def flushed_count(self) -> int:
+        """Filters reported-and-reset since construction."""
+        return self._flushed_count
+
+    def register_and_mount(self, pattern: TopoPattern, trace_id: str) -> str:
+        """Register ``pattern`` (exact match or insert) and mount the
+        trace's metadata on its Bloom filter."""
+        pattern_id = self.library.register(pattern)
+        filt = self._filters.get(pattern_id)
+        if filt is None:
+            filt = self._new_filter()
+            self._filters[pattern_id] = filt
+        filt.add(trace_id)
+        if filt.is_full:
+            self._flush(pattern_id, filt)
+            self._filters[pattern_id] = self._new_filter()
+        return pattern_id
+
+    def might_contain(self, pattern_id: str, trace_id: str) -> bool:
+        """Agent-side membership check on the *active* filter only.
+
+        Flushed filters live on the backend; this is used by tests and
+        by the collector's local pre-checks.
+        """
+        filt = self._filters.get(pattern_id)
+        return filt is not None and trace_id in filt
+
+    def active_filters(self) -> dict[str, BloomFilter]:
+        """Current (unflushed) filter per pattern id."""
+        return dict(self._filters)
+
+    def drain_active_filters(self) -> list[FlushedBloom]:
+        """Flush every non-empty active filter (periodic report path)."""
+        drained: list[FlushedBloom] = []
+        for pattern_id, filt in list(self._filters.items()):
+            if len(filt) == 0:
+                continue
+            drained.append(
+                FlushedBloom(
+                    topo_pattern_id=pattern_id,
+                    node=self.node,
+                    payload=filt.to_bytes(),
+                    inserted=len(filt),
+                )
+            )
+            self._filters[pattern_id] = self._new_filter()
+        return drained
+
+    def _new_filter(self) -> BloomFilter:
+        return sized_for_bytes(self.bloom_buffer_bytes, self.bloom_fpp)
+
+    def _flush(self, pattern_id: str, filt: BloomFilter) -> None:
+        self._flushed_count += 1
+        if self._on_flush is not None:
+            self._on_flush(
+                FlushedBloom(
+                    topo_pattern_id=pattern_id,
+                    node=self.node,
+                    payload=filt.to_bytes(),
+                    inserted=len(filt),
+                )
+            )

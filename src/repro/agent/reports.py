@@ -1,0 +1,85 @@
+"""Messages flowing from collectors to the backend, with byte costs.
+
+Every report knows its wire size; the simulation's network meter charges
+exactly these sizes, which is how Fig. 11's network-overhead comparison
+is reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.encoding import encoded_size
+
+
+@dataclass
+class PatternLibraryReport:
+    """Periodic upload of span + topo patterns (paper step 4).
+
+    Only patterns not previously reported are included; the pattern
+    libraries converge once the system is stable, so these reports
+    shrink to nothing.
+    """
+
+    node: str
+    span_patterns: list[dict[str, Any]] = field(default_factory=list)
+    topo_patterns: list[dict[str, Any]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        """Wire size of the report."""
+        return encoded_size(
+            {
+                "node": self.node,
+                "span_patterns": self.span_patterns,
+                "topo_patterns": self.topo_patterns,
+            }
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there is nothing new to upload."""
+        return not self.span_patterns and not self.topo_patterns
+
+
+@dataclass
+class BloomReport:
+    """One flushed Bloom filter (sent when full, or at period end)."""
+
+    node: str
+    topo_pattern_id: str
+    payload: bytes
+    inserted: int
+
+    def size_bytes(self) -> int:
+        """Wire size: the bit array plus a small header."""
+        header = encoded_size(
+            {
+                "node": self.node,
+                "topo_pattern_id": self.topo_pattern_id,
+                "inserted": self.inserted,
+            }
+        )
+        return header + len(self.payload)
+
+
+@dataclass
+class ParamsReport:
+    """Variable parameters of one sampled trace from one node (step 6).
+
+    ``records`` use the compact positional format of
+    :meth:`repro.parsing.span_parser.ParsedSpan.compact_record`.
+    """
+
+    node: str
+    trace_id: str
+    records: list[list[Any]] = field(default_factory=list)
+
+    def size_bytes(self) -> int:
+        """Wire size of the parameter upload."""
+        return encoded_size(
+            {"node": self.node, "trace_id": self.trace_id, "records": self.records}
+        )
+
+
+Report = PatternLibraryReport | BloomReport | ParamsReport

@@ -1,0 +1,219 @@
+"""Samplers deciding which traces get their parameters uploaded.
+
+Paper Section 4.2 defines two samplers purpose-built for the
+'commonality + variability' paradigm:
+
+* :class:`SymptomSampler` — watches the Params Buffer for anomalies:
+  numeric parameters beyond the P95 of their attribute, or string
+  parameters containing user-defined abnormal words;
+* :class:`EdgeCaseSampler` — watches the Topo Pattern Library and
+  boosts the sampling probability of rare execution paths.
+
+Mint also remains compatible with conventional rules, provided here as
+:class:`HeadSampler` and :class:`TailSampler`.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections import deque
+from typing import Callable, Protocol
+
+from repro.model.trace import SubTrace
+from repro.parsing.trace_parser import ParsedSubTrace, TopoPatternLibrary
+
+
+class Sampler(Protocol):
+    """Decision interface: should this trace's parameters be uploaded?"""
+
+    def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
+        """Inspect one parsed sub-trace; True marks the trace sampled."""
+        ...
+
+
+class SymptomSampler:
+    """Marks traces with anomalous parameter values as sampled.
+
+    For numeric parameters the sampler keeps a sliding window per
+    attribute key and flags values above the configured percentile
+    (default P95).  For string parameters it flags values containing any
+    abnormal word (case-insensitive substring match), with the word list
+    being user-defined per the paper.
+    """
+
+    def __init__(
+        self,
+        abnormal_words: tuple[str, ...] = (),
+        percentile: float = 95.0,
+        window: int = 512,
+        min_observations: int = 20,
+        numeric_keys: tuple[str, ...] | None = None,
+    ) -> None:
+        """``numeric_keys`` restricts the outlier check to specific
+        parameter keys (default: span durations only — the paper's
+        example of "unusually large duration values"); pass ``None``
+        explicitly wrapped in a tuple-free call site to widen it."""
+        if not 0.0 < percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        from repro.parsing.span_parser import DURATION_KEY
+
+        self.percentile = percentile
+        self.min_observations = min_observations
+        self.numeric_keys = (
+            numeric_keys if numeric_keys is not None else (DURATION_KEY,)
+        )
+        self._words = tuple(w.lower() for w in abnormal_words)
+        self._word_patterns = [
+            re.compile(rf"(?<![0-9a-z]){re.escape(w.lower())}(?![0-9a-z])")
+            for w in abnormal_words
+        ]
+        self._windows: dict[str, deque[float]] = {}
+        self._window_size = window
+
+    def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
+        sampled = False
+        for span in parsed.parsed_spans:
+            for key, param in span.params.items():
+                if isinstance(param, list):
+                    if self._has_abnormal_word(param):
+                        sampled = True
+                elif key in self.numeric_keys and self._is_numeric_outlier(
+                    # Windows are kept per (pattern, key): "unusually
+                    # large" only makes sense against spans doing the
+                    # same unit of work, not a mixed population.
+                    f"{span.pattern_id}:{key}",
+                    float(param),
+                ):
+                    sampled = True
+        return sampled
+
+    def _has_abnormal_word(self, parts: list[str]) -> bool:
+        """Word-boundary match so random hex ids containing e.g. '500'
+        as a substring do not trip the sampler."""
+        for part in parts:
+            lowered = part.lower()
+            for pattern in self._word_patterns:
+                if pattern.search(lowered):
+                    return True
+        return False
+
+    def _is_numeric_outlier(self, key: str, value: float) -> bool:
+        """True for genuinely anomalous values.
+
+        Beyond the paper's P95 rule, the value must also exceed twice
+        the window mean — under steady load roughly 5 % of values sit
+        above P95 by construction, and marking all of them would sample
+        far more than the anomalous traffic the rule is after.
+        """
+        window = self._windows.get(key)
+        if window is None:
+            window = deque(maxlen=self._window_size)
+            self._windows[key] = window
+        outlier = False
+        if len(window) >= self.min_observations:
+            threshold = _percentile(list(window), self.percentile)
+            mean = sum(window) / len(window)
+            outlier = value > threshold and value > 2.0 * mean
+        window.append(value)
+        return outlier
+
+
+class EdgeCaseSampler:
+    """Boosts sampling of traces following rare topology patterns.
+
+    The probability of sampling a trace matched to pattern ``p`` scales
+    with the inverse of the pattern's observed share: common patterns
+    stay near ``base_rate`` and the rarest patterns approach 1.
+    """
+
+    def __init__(
+        self,
+        library: TopoPatternLibrary,
+        base_rate: float = 0.02,
+        seed: int = 7,
+    ) -> None:
+        if not 0.0 <= base_rate <= 1.0:
+            raise ValueError("base_rate must be in [0, 1]")
+        self.library = library
+        self.base_rate = base_rate
+        self._rng = random.Random(seed)
+
+    def sampling_probability(self, topo_pattern_id: str) -> float:
+        """Probability assigned to a trace of the given pattern.
+
+        Inverse-share weighting: a pattern carrying a ``1/n``-th share
+        of traffic (``n`` = library size, the uniform share) is sampled
+        at ``base_rate``; rarer patterns are boosted proportionally and
+        the very first occurrences of any new path are always sampled.
+        Common patterns decay well below ``base_rate`` so steady-state
+        edge-case traffic stays a small fraction of requests.
+        """
+        total = self.library.total_matches()
+        count = self.library.match_count(topo_pattern_id)
+        if total <= 0 or count <= 0:
+            return 1.0  # Never-seen pattern: always an edge case.
+        if count <= 2:
+            return 1.0  # First occurrences of a new path always sampled.
+        share = count / total
+        uniform_share = 1.0 / max(len(self.library), 1)
+        boosted = self.base_rate * uniform_share / max(share, 1e-9)
+        return min(1.0, boosted)
+
+    def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
+        probability = self.sampling_probability(parsed.topo_pattern_id)
+        return self._rng.random() < probability
+
+
+class HeadSampler:
+    """Conventional head sampling: decide at trace start, by trace id.
+
+    The decision hashes the trace id so every agent that sees the trace
+    agrees without coordination (equivalent to propagating the sampled
+    flag in the context).
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self._seed = seed
+
+    def decide(self, trace_id: str) -> bool:
+        """Deterministic per-trace-id decision."""
+        rng = random.Random(f"{self._seed}:{trace_id}")
+        return rng.random() < self.rate
+
+    def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
+        return self.decide(sub_trace.trace_id)
+
+
+class TailSampler:
+    """Conventional tail sampling: a user-defined predicate over the
+    (sub-)trace, evaluated after the fact.
+
+    The paper's evaluation configures tail sampling to keep traces
+    tagged ``is_abnormal``; that predicate is the default here.
+    """
+
+    def __init__(
+        self, predicate: Callable[[SubTrace], bool] | None = None
+    ) -> None:
+        self.predicate = predicate or _default_abnormal_predicate
+
+    def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
+        return self.predicate(sub_trace)
+
+
+def _default_abnormal_predicate(sub_trace: SubTrace) -> bool:
+    for span in sub_trace:
+        if span.attributes.get("is_abnormal") in (True, "true", 1):
+            return True
+    return False
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile over a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
+    return ordered[rank]

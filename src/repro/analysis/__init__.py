@@ -1,0 +1,23 @@
+"""Measurement and reporting helpers for the evaluation harness."""
+
+from repro.analysis.commonality import (
+    CommonalityStats,
+    inter_span_commonality,
+    inter_trace_commonality,
+)
+from repro.analysis.metrics import (
+    hit_breakdown,
+    miss_rate,
+    top1_accuracy,
+)
+from repro.analysis.reporting import render_table
+
+__all__ = [
+    "CommonalityStats",
+    "inter_trace_commonality",
+    "inter_span_commonality",
+    "miss_rate",
+    "hit_breakdown",
+    "top1_accuracy",
+    "render_table",
+]

@@ -1,0 +1,87 @@
+"""Commonality statistics over trace corpora (paper Table 1).
+
+The paper counts *pairs with commonality*: two traces (or spans) that
+share a common pattern, as a fraction of all pairs.  Grouping by
+pattern signature turns the quadratic pair count into sums of
+``C(group_size, 2)``, so corpora of hundreds of thousands of spans are
+cheap to analyse.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.model.trace import Trace
+
+
+@dataclass(frozen=True)
+class CommonalityStats:
+    """Occurrence (pair count) and proportion of same-pattern pairs."""
+
+    total_items: int
+    pairs_with_commonality: int
+    total_pairs: int
+
+    @property
+    def proportion(self) -> float:
+        """Fraction of pairs sharing a pattern (the paper's % column)."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.pairs_with_commonality / self.total_pairs
+
+
+def _pair_stats(signature_counts: Counter) -> CommonalityStats:
+    total = sum(signature_counts.values())
+    same = sum(count * (count - 1) // 2 for count in signature_counts.values())
+    all_pairs = total * (total - 1) // 2
+    return CommonalityStats(
+        total_items=total, pairs_with_commonality=same, total_pairs=all_pairs
+    )
+
+
+def trace_signature(trace: Trace) -> tuple:
+    """The inter-trace commonality key: the ordered service/operation
+    path of the request (traces of the same request type share it)."""
+    return tuple(
+        sorted((span.service, span.name, span.kind.value) for span in trace.spans)
+    )
+
+
+def span_signature(service: str, name: str, kind: str, attr_keys: tuple) -> tuple:
+    """The inter-span commonality key.
+
+    Paper Section 2.2.3: spans share a pattern when they "possess the
+    same keys and their values follow a similar pattern" — a structural
+    notion (same instrumentation shape), not same-operation identity.
+    The signature is therefore the span kind plus its attribute key
+    set; ``service``/``name`` are accepted for call-site symmetry but
+    do not partition.
+    """
+    del service, name
+    return (kind, attr_keys)
+
+
+def inter_trace_commonality(traces: Iterable[Trace]) -> CommonalityStats:
+    """Table 1's inter-trace row for a corpus."""
+    counts: Counter = Counter()
+    for trace in traces:
+        counts[trace_signature(trace)] += 1
+    return _pair_stats(counts)
+
+
+def inter_span_commonality(traces: Iterable[Trace]) -> CommonalityStats:
+    """Table 1's inter-span row for a corpus."""
+    counts: Counter = Counter()
+    for trace in traces:
+        for span in trace.spans:
+            counts[
+                span_signature(
+                    span.service,
+                    span.name,
+                    span.kind.value,
+                    tuple(sorted(span.attributes)),
+                )
+            ] += 1
+    return _pair_stats(counts)

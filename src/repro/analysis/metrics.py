@@ -1,0 +1,32 @@
+"""Evaluation metrics: query hit rates and RCA accuracy."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+
+def hit_breakdown(statuses: Iterable[str]) -> dict[str, int]:
+    """Counts of 'exact' / 'partial' / 'miss' query outcomes."""
+    counts = Counter(statuses)
+    return {
+        "exact": counts.get("exact", 0),
+        "partial": counts.get("partial", 0),
+        "miss": counts.get("miss", 0),
+    }
+
+
+def miss_rate(statuses: Iterable[str]) -> float:
+    """Fraction of queries with no record at all (paper Fig. 3)."""
+    materialised = list(statuses)
+    if not materialised:
+        return 0.0
+    return sum(1 for s in materialised if s == "miss") / len(materialised)
+
+
+def top1_accuracy(predictions: Iterable[str | None], truths: Iterable[str]) -> float:
+    """A@1 over paired (predicted root cause, true root cause) lists."""
+    pairs = list(zip(list(predictions), list(truths)))
+    if not pairs:
+        return 0.0
+    return sum(1 for predicted, truth in pairs if predicted == truth) / len(pairs)

@@ -1,0 +1,34 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables and
+figure series report; this module keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if abs(cell) < 100 else f"{cell:,.1f}"
+    return str(cell)

@@ -1,0 +1,159 @@
+"""Trace Explorer: the query/visualisation features of Mint's frontend.
+
+Paper Section 6.3 describes the production use cases approximate traces
+serve: **UC 1** (trace exploration — execution path, flame graph, types
+and approximate content of each operation) and **UC 2** (batch analysis
+— latency scatter plots, aggregated topology across many traces).
+
+This module renders both from :class:`~repro.backend.querier.QueryResult`
+objects, uniformly for exact and approximate traces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.backend.querier import ApproximateTrace, QueryResult
+from repro.model.trace import Trace
+
+
+@dataclass
+class FlameNode:
+    """One bar of a flame graph."""
+
+    label: str
+    service: str
+    duration_text: str
+    depth: int
+    children: list["FlameNode"] = field(default_factory=list)
+
+
+def flame_graph_from_trace(trace: Trace) -> list[FlameNode]:
+    """Flame nodes (forest) for an exact trace."""
+    by_parent: dict[str | None, list] = defaultdict(list)
+    span_ids = {s.span_id for s in trace.spans}
+    for span in trace.spans:
+        parent = span.parent_id if span.parent_id in span_ids else None
+        by_parent[parent].append(span)
+
+    def build(span, depth: int) -> FlameNode:
+        node = FlameNode(
+            label=span.name,
+            service=span.service,
+            duration_text=f"{span.duration:.2f}ms",
+            depth=depth,
+        )
+        for child in sorted(
+            by_parent.get(span.span_id, []), key=lambda s: (s.start_time, s.span_id)
+        ):
+            node.children.append(build(child, depth + 1))
+        return node
+
+    return [
+        build(root, 0)
+        for root in sorted(by_parent[None], key=lambda s: (s.start_time, s.span_id))
+    ]
+
+
+def flame_graph_from_approximate(approx: ApproximateTrace) -> list[FlameNode]:
+    """Flame nodes for an approximate trace (durations are bucket text)."""
+    roots: list[FlameNode] = []
+    for segment in approx.segments:
+        stack: list[FlameNode] = []
+        for view in segment.spans:
+            node = FlameNode(
+                label=view["name"],
+                service=view["service"],
+                duration_text=view.get("duration") or "<num>",
+                depth=view.get("depth", 0),
+            )
+            while stack and stack[-1].depth >= node.depth:
+                stack.pop()
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                roots.append(node)
+            stack.append(node)
+    return roots
+
+
+def flame_graph(result: QueryResult) -> list[FlameNode]:
+    """Flame nodes for any query result (exact preferred)."""
+    if result.trace is not None:
+        return flame_graph_from_trace(result.trace)
+    if result.approximate is not None:
+        return flame_graph_from_approximate(result.approximate)
+    return []
+
+
+def render_flame_graph(result: QueryResult, width: int = 100) -> str:
+    """Text rendering of the flame graph (UC 1's visualisation)."""
+    lines = [f"trace {result.trace_id}  [{result.status}]"]
+
+    def visit(node: FlameNode, depth: int) -> None:
+        indent = "  " * depth
+        text = f"{indent}▇ {node.service} :: {node.label} ({node.duration_text})"
+        lines.append(text[:width])
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in flame_graph(result):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+@dataclass
+class BatchAnalysis:
+    """Aggregates over many query results (UC 2)."""
+
+    traces_seen: int = 0
+    exact_traces: int = 0
+    partial_traces: int = 0
+    spans_available: int = 0
+    path_counts: Counter = field(default_factory=Counter)
+    service_duration_buckets: dict[str, Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
+    service_error_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def top_paths(self) -> list[tuple[str, int]]:
+        """Most common aggregated execution paths."""
+        return self.path_counts.most_common(10)
+
+
+def batch_analyze(results: Iterable[QueryResult]) -> BatchAnalysis:
+    """UC 2: run batch aggregation over a window of query results.
+
+    Approximate traces contribute execution paths, duration buckets and
+    error flags — the paper's point is that this multiplies the
+    analysable span population versus sampled-only data.
+    """
+    out = BatchAnalysis()
+    for result in results:
+        if result.status == "miss":
+            continue
+        out.traces_seen += 1
+        if result.trace is not None:
+            out.exact_traces += 1
+            out.spans_available += len(result.trace.spans)
+            out.path_counts[" -> ".join(sorted(result.trace.services))] += 1
+            for span in result.trace.spans:
+                bucket = f"{span.duration:.0f}ms"
+                out.service_duration_buckets[span.service][bucket] += 1
+                if span.status.value == "error":
+                    out.service_error_counts[span.service] += 1
+        elif result.approximate is not None:
+            out.partial_traces += 1
+            approx = result.approximate
+            out.spans_available += approx.span_count
+            out.path_counts[" -> ".join(sorted(approx.services))] += 1
+            for segment in approx.segments:
+                for view in segment.spans:
+                    bucket = view.get("duration") or "<num>"
+                    out.service_duration_buckets[view["service"]][bucket] += 1
+                    if view.get("status") == "error":
+                        out.service_error_counts[view["service"]] += 1
+    return out

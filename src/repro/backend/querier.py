@@ -1,0 +1,230 @@
+"""Query logic: exact traces for sampled requests, approximate traces
+for everything else (paper Section 4.3 and Fig. 10).
+
+For a queried trace id, the querier checks every stored Bloom filter.
+Matching filters identify the topo patterns the trace's sub-traces
+belong to; those segments are stitched into an *approximate trace* by
+matching exit operations against entry operations (paper Section 6.2).
+If the trace was sampled, its exact parameters are substituted into the
+patterns to reconstruct the original spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.backend.storage import StorageEngine
+from repro.model.trace import Trace
+from repro.parsing.span_parser import (
+    ParsedSpan,
+    approximate_span_view,
+    reconstruct_exact_span,
+)
+from repro.parsing.trace_parser import TopoNode, TopoPattern
+
+
+@dataclass
+class ApproximateSegment:
+    """One sub-trace rendered from its topo pattern (variables masked)."""
+
+    topo_pattern_id: str
+    nodes_reporting: list[str]
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    entry_ops: list[tuple[str, str]] = field(default_factory=list)
+    exit_ops: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def span_count(self) -> int:
+        """Spans in this segment."""
+        return len(self.spans)
+
+
+@dataclass
+class ApproximateTrace:
+    """The masked, pattern-level view of an unsampled trace."""
+
+    trace_id: str
+    segments: list[ApproximateSegment] = field(default_factory=list)
+
+    @property
+    def span_count(self) -> int:
+        """Total spans across all segments."""
+        return sum(seg.span_count for seg in self.segments)
+
+    @property
+    def services(self) -> set[str]:
+        """Services on the (approximate) execution path."""
+        return {span["service"] for seg in self.segments for span in seg.spans}
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one trace query.
+
+    ``status`` is ``"exact"`` (full reconstruction), ``"partial"``
+    (approximate trace only) or ``"miss"`` (no record at all) — matching
+    the hit classification used in the paper's Fig. 12 experiment.
+    """
+
+    trace_id: str
+    status: str
+    trace: Trace | None = None
+    approximate: ApproximateTrace | None = None
+
+    @property
+    def is_hit(self) -> bool:
+        """True for exact or partial hits."""
+        return self.status in ("exact", "partial")
+
+
+class Querier:
+    """Answers trace-id queries against a :class:`StorageEngine`."""
+
+    def __init__(self, storage: StorageEngine) -> None:
+        self.storage = storage
+
+    def query(self, trace_id: str) -> QueryResult:
+        """Return the exact trace, an approximate trace, or a miss."""
+        if self.storage.has_params(trace_id):
+            trace = self._reconstruct_exact(trace_id)
+            if trace is not None:
+                return QueryResult(trace_id=trace_id, status="exact", trace=trace)
+        approximate = self._reconstruct_approximate(trace_id)
+        if approximate is not None:
+            return QueryResult(
+                trace_id=trace_id, status="partial", approximate=approximate
+            )
+        return QueryResult(trace_id=trace_id, status="miss")
+
+    # ------------------------------------------------------------------
+    # Exact reconstruction
+    # ------------------------------------------------------------------
+    def _reconstruct_exact(self, trace_id: str) -> Trace | None:
+        records = self.storage.params.get(trace_id, [])
+        spans = []
+        for record in records:
+            pattern = self.storage.span_patterns.get(record[3])
+            if pattern is None:
+                continue
+            parsed = ParsedSpan.from_compact_record(trace_id, record, pattern)
+            spans.append(reconstruct_exact_span(pattern, parsed))
+        if not spans:
+            return None
+        spans.sort(key=lambda s: (s.start_time, s.span_id))
+        return Trace(trace_id=trace_id, spans=spans)
+
+    # ------------------------------------------------------------------
+    # Approximate reconstruction
+    # ------------------------------------------------------------------
+    def _reconstruct_approximate(self, trace_id: str) -> ApproximateTrace | None:
+        matches = self.storage.patterns_matching_trace(trace_id)
+        if not matches:
+            return None
+        by_pattern: dict[str, list[str]] = {}
+        for stored in matches:
+            by_pattern.setdefault(stored.topo_pattern_id, []).append(stored.node)
+        segments: list[ApproximateSegment] = []
+        for pattern_id, nodes in sorted(by_pattern.items()):
+            pattern = self.storage.topo_patterns.get(pattern_id)
+            if pattern is None:
+                continue
+            segments.append(self._render_segment(pattern, sorted(set(nodes))))
+        if not segments:
+            return None
+        segments = _drop_unconnected_false_positives(segments)
+        ordered = _stitch_segments(segments)
+        return ApproximateTrace(trace_id=trace_id, segments=ordered)
+
+    def _render_segment(
+        self, pattern: TopoPattern, nodes: list[str]
+    ) -> ApproximateSegment:
+        spans: list[dict[str, Any]] = []
+
+        def visit(node: TopoNode, depth: int) -> None:
+            span_pattern = self.storage.span_patterns.get(node[0])
+            if span_pattern is not None:
+                ranges = self.storage.numeric_ranges.get(node[0])
+                view = approximate_span_view(span_pattern, ranges)
+                view["depth"] = depth
+                spans.append(view)
+            for child in node[1]:
+                visit(child, depth + 1)
+
+        for root in pattern.roots:
+            visit(root, 0)
+        return ApproximateSegment(
+            topo_pattern_id=pattern.pattern_id,
+            nodes_reporting=nodes,
+            spans=spans,
+            entry_ops=[tuple(op) for op in pattern.entry_ops],
+            exit_ops=[tuple(op) for op in pattern.exit_ops],
+        )
+
+
+def _drop_unconnected_false_positives(
+    segments: list[ApproximateSegment],
+) -> list[ApproximateSegment]:
+    """Upstream/downstream verification of Bloom matches (Section 3.3).
+
+    Bloom filters can falsely place a trace in an unrelated pattern.
+    A false-positive segment usually has no entry/exit relationship
+    with any other matched segment, so when at least two segments *are*
+    mutually connected, segments connected to nothing are discarded.
+    (With zero or one connection in total there is nothing to verify
+    against, and every match is kept — the no-miss property wins.)
+    """
+    if len(segments) <= 1:
+        return segments
+    connected: set[int] = set()
+    for i, a in enumerate(segments):
+        for j, b in enumerate(segments):
+            if i == j:
+                continue
+            if set(a.exit_ops) & set(b.entry_ops):
+                connected.add(i)
+                connected.add(j)
+    if len(connected) < 2:
+        return segments
+    return [seg for i, seg in enumerate(segments) if i in connected]
+
+
+def _stitch_segments(segments: list[ApproximateSegment]) -> list[ApproximateSegment]:
+    """Order segments by upstream/downstream matching (Section 6.2).
+
+    Segment A precedes segment B when one of A's exit operations names
+    B's entry operation (matching callee service and operation name).
+    A topological-ish greedy order is produced; unmatched segments keep
+    their original relative order at the end.
+    """
+    if len(segments) <= 1:
+        return segments
+    entry_index: dict[tuple[str, str], list[int]] = {}
+    for i, seg in enumerate(segments):
+        for op in seg.entry_ops:
+            entry_index.setdefault(op, []).append(i)
+    successors: dict[int, set[int]] = {i: set() for i in range(len(segments))}
+    indegree = [0] * len(segments)
+    for i, seg in enumerate(segments):
+        for op in seg.exit_ops:
+            for j in entry_index.get(op, []):
+                if j != i and j not in successors[i]:
+                    successors[i].add(j)
+                    indegree[j] += 1
+    ordered: list[int] = []
+    ready = sorted(i for i in range(len(segments)) if indegree[i] == 0)
+    visited: set[int] = set()
+    while ready:
+        current = ready.pop(0)
+        if current in visited:
+            continue
+        visited.add(current)
+        ordered.append(current)
+        for nxt in sorted(successors[current]):
+            indegree[nxt] -= 1
+            if indegree[nxt] <= 0 and nxt not in visited:
+                ready.append(nxt)
+    for i in range(len(segments)):
+        if i not in visited:
+            ordered.append(i)
+    return [segments[i] for i in ordered]

@@ -1,0 +1,144 @@
+"""The backend's distributed trace storage engine.
+
+Stores the three parts Mint separates (paper Section 3.4): pattern
+libraries (merged across nodes by content id), Bloom filters (indexed by
+topo pattern), and variable parameters of sampled traces.  Every stored
+byte is accounted, because storage overhead is one of the paper's two
+headline metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport
+from repro.bloom.bloom_filter import BloomFilter, sized_for_bytes
+from repro.model.encoding import encoded_size
+from repro.parsing.span_parser import SpanPattern
+from repro.parsing.trace_parser import TopoPattern
+
+
+@dataclass
+class StoredBloom:
+    """A reported Bloom filter indexed under its topo pattern."""
+
+    node: str
+    topo_pattern_id: str
+    filter: BloomFilter
+
+
+class StorageEngine:
+    """In-memory storage engine with strict byte accounting."""
+
+    def __init__(self, bloom_buffer_bytes: int = 4096, bloom_fpp: float = 0.01) -> None:
+        self.bloom_buffer_bytes = bloom_buffer_bytes
+        self.bloom_fpp = bloom_fpp
+        self.span_patterns: dict[str, SpanPattern] = {}
+        self.numeric_ranges: dict[str, dict[str, tuple[float, float]]] = {}
+        self.topo_patterns: dict[str, TopoPattern] = {}
+        self.blooms: list[StoredBloom] = []
+        # trace_id -> compact param records (see ParsedSpan.compact_record)
+        self.params: dict[str, list[list[Any]]] = {}
+        self.sampled_trace_ids: set[str] = set()
+        self._pattern_bytes = 0
+        self._bloom_bytes = 0
+        self._params_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def store_pattern_report(self, report: PatternLibraryReport) -> None:
+        """Merge a pattern library report; duplicate ids cost nothing."""
+        for data in report.span_patterns:
+            pattern = SpanPattern.from_dict(data)
+            if pattern.pattern_id not in self.span_patterns:
+                self.span_patterns[pattern.pattern_id] = pattern
+                self._pattern_bytes += encoded_size(data)
+            reported_ranges = data.get("numeric_ranges", {})
+            if reported_ranges:
+                merged = self.numeric_ranges.setdefault(pattern.pattern_id, {})
+                for key, bounds in reported_ranges.items():
+                    lower, upper = float(bounds[0]), float(bounds[1])
+                    current = merged.get(key)
+                    if current is None:
+                        merged[key] = (lower, upper)
+                    else:
+                        merged[key] = (
+                            min(current[0], lower),
+                            max(current[1], upper),
+                        )
+        for data in report.topo_patterns:
+            pattern = TopoPattern.from_dict(data)
+            if pattern.pattern_id not in self.topo_patterns:
+                self.topo_patterns[pattern.pattern_id] = pattern
+                self._pattern_bytes += encoded_size(data)
+
+    def store_bloom_report(self, report: BloomReport) -> None:
+        """Index a flushed Bloom filter under its topo pattern."""
+        reference = sized_for_bytes(self.bloom_buffer_bytes, self.bloom_fpp)
+        filt = BloomFilter.from_bytes(
+            report.payload,
+            expected_insertions=reference.expected_insertions,
+            false_positive_probability=self.bloom_fpp,
+            inserted=report.inserted,
+        )
+        self.blooms.append(
+            StoredBloom(
+                node=report.node,
+                topo_pattern_id=report.topo_pattern_id,
+                filter=filt,
+            )
+        )
+        self._bloom_bytes += report.size_bytes()
+
+    def store_params_report(self, report: ParamsReport) -> None:
+        """Persist a sampled trace's parameters from one node.
+
+        Records are compact positional lists
+        (``[span_id, parent_id, node, pattern_id, start_time, values]``);
+        they stay compact at rest and are expanded lazily at query time.
+        """
+        bucket = self.params.setdefault(report.trace_id, [])
+        known = {(r[0], r[2]) for r in bucket}
+        for record in report.records:
+            key = (record[0], record[2])
+            if key in known:
+                continue
+            bucket.append(record)
+            known.add(key)
+            self._params_bytes += encoded_size(record)
+        self.sampled_trace_ids.add(report.trace_id)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def patterns_matching_trace(self, trace_id: str) -> list[StoredBloom]:
+        """All stored Bloom filters that (probably) contain ``trace_id``."""
+        return [b for b in self.blooms if trace_id in b.filter]
+
+    def has_params(self, trace_id: str) -> bool:
+        """True when the exact parameters of the trace are stored."""
+        return bool(self.params.get(trace_id))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def pattern_bytes(self) -> int:
+        """Bytes spent on span + topo patterns."""
+        return self._pattern_bytes
+
+    @property
+    def bloom_bytes(self) -> int:
+        """Bytes spent on Bloom filters (trace metadata of all traces)."""
+        return self._bloom_bytes
+
+    @property
+    def params_bytes(self) -> int:
+        """Bytes spent on sampled traces' variable parameters."""
+        return self._params_bytes
+
+    def storage_bytes(self) -> int:
+        """Total persisted bytes — the Fig. 11 storage metric."""
+        return self._pattern_bytes + self._bloom_bytes + self._params_bytes

@@ -1,0 +1,33 @@
+"""Tracing frameworks compared in the paper's evaluation.
+
+All frameworks implement the :class:`~repro.baselines.base.TracingFramework`
+interface and are charged through identical byte meters, so the Fig. 11
+comparison is apples-to-apples:
+
+* ``OTFull`` — OpenTelemetry, 100 % sampling (the no-reduction reference);
+* ``OTHead`` — head sampling at a fixed rate (default 5 %);
+* ``OTTail`` — tail sampling on the ``is_abnormal`` tag;
+* ``Hindsight`` — retroactive sampling with breadcrumbs (NSDI '23);
+* ``Sieve`` — RRCF-based biased tail sampling (ICWS '21);
+* ``MintFramework`` — this paper.
+"""
+
+from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.baselines.otel import OTFull, OTHead, OTTail
+from repro.baselines.hindsight import Hindsight
+from repro.baselines.rrcf import RobustRandomCutForest, RandomCutTree
+from repro.baselines.sieve import Sieve
+from repro.baselines.mint_framework import MintFramework
+
+__all__ = [
+    "TracingFramework",
+    "FrameworkQueryResult",
+    "OTFull",
+    "OTHead",
+    "OTTail",
+    "Hindsight",
+    "Sieve",
+    "RobustRandomCutForest",
+    "RandomCutTree",
+    "MintFramework",
+]

@@ -1,0 +1,76 @@
+"""Common interface and accounting for all tracing frameworks.
+
+The evaluation charges every framework through the same two meters:
+
+* **network** — bytes crossing from application nodes to the tracing
+  backend (trace data, breadcrumbs, Bloom filters, control messages);
+* **storage** — bytes the backend persists.
+
+A framework receives complete traces (the generator plays the role of
+instrumented applications) and decides what to ship and keep.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.model.trace import Trace
+from repro.sim.meters import OverheadLedger
+
+
+@dataclass
+class FrameworkQueryResult:
+    """Uniform query outcome across frameworks.
+
+    ``status`` is ``"exact"``, ``"partial"`` or ``"miss"`` — only Mint
+    ever returns ``"partial"``; '1 or 0' frameworks either stored the
+    whole trace or nothing.
+    """
+
+    trace_id: str
+    status: str
+
+    @property
+    def is_hit(self) -> bool:
+        """Exact or partial."""
+        return self.status in ("exact", "partial")
+
+    @property
+    def is_exact(self) -> bool:
+        """Full-fidelity hit."""
+        return self.status == "exact"
+
+
+class TracingFramework(abc.ABC):
+    """Base class: meters plus the ingest/query contract."""
+
+    name: str = "framework"
+
+    def __init__(self) -> None:
+        self.ledger = OverheadLedger()
+
+    @property
+    def network_bytes(self) -> int:
+        """Total agent->backend bytes."""
+        return self.ledger.network.total_bytes
+
+    @property
+    def storage_bytes(self) -> int:
+        """Total persisted bytes."""
+        return self.ledger.storage.total_bytes
+
+    @abc.abstractmethod
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        """Ingest one complete trace generated at time ``now``."""
+
+    def finalize(self, now: float = 0.0) -> None:
+        """Flush any buffered state at the end of a run."""
+
+    @abc.abstractmethod
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        """Answer a trace-id query."""
+
+    def stored_trace_ids(self) -> set[str]:
+        """Trace ids the framework can answer exactly (for RCA feeds)."""
+        return set()

@@ -1,0 +1,85 @@
+"""Hindsight-style retroactive sampling (Zhang et al., NSDI '23).
+
+Hindsight buffers full trace data in lock-free agent-local memory and
+ships only tiny *breadcrumbs* (which nodes hold data for which trace)
+to a coordinator.  When a *trigger* fires — an edge case such as an
+error — the coordinator retrieves the buffered data for that trace from
+all nodes, retroactively sampling it.
+
+Cost model reproduced here (matching the paper's Fig. 11 analysis):
+breadcrumbs cross the network for every trace (slightly more than head
+sampling's nothing), full data crosses only for triggered traces, and
+agent buffers are bounded, so data older than the buffer horizon is
+lost even if triggered late.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.baselines.otel import is_abnormal_trace
+from repro.model.encoding import encoded_size
+from repro.model.trace import Trace
+
+# One breadcrumb per (trace, node) pair: trace id + node id + flags.
+BREADCRUMB_BYTES = 40
+
+
+class Hindsight(TracingFramework):
+    """Retroactive sampler with breadcrumb + buffer cost accounting."""
+
+    name = "Hindsight"
+
+    def __init__(
+        self,
+        trigger: Callable[[Trace], bool] | None = None,
+        buffer_bytes_per_node: int = 64 * 1024 * 1024,
+    ) -> None:
+        super().__init__()
+        self.trigger = trigger or is_abnormal_trace
+        self.buffer_bytes_per_node = buffer_bytes_per_node
+        # Per-node FIFO buffers: node -> OrderedDict[trace_id, bytes].
+        self._buffers: dict[str, OrderedDict[str, int]] = {}
+        self._buffer_used: dict[str, int] = {}
+        self._stored: set[str] = set()
+
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        sub_traces = trace.sub_traces()
+        # Breadcrumbs for every sub-trace of every trace.
+        self.ledger.network.record(BREADCRUMB_BYTES * len(sub_traces), now)
+        for sub in sub_traces:
+            size = sum(encoded_size(span) for span in sub.spans)
+            self._buffer_put(sub.node, trace.trace_id, size)
+        if self.trigger(trace):
+            self._retrieve(trace, now)
+
+    def _buffer_put(self, node: str, trace_id: str, size: int) -> None:
+        buf = self._buffers.setdefault(node, OrderedDict())
+        used = self._buffer_used.get(node, 0)
+        buf[trace_id] = buf.get(trace_id, 0) + size
+        used += size
+        while used > self.buffer_bytes_per_node and buf:
+            _, evicted = buf.popitem(last=False)
+            used -= evicted
+        self._buffer_used[node] = used
+
+    def _retrieve(self, trace: Trace, now: float) -> None:
+        retrieved = 0
+        for node, buf in self._buffers.items():
+            size = buf.pop(trace.trace_id, 0)
+            if size:
+                self._buffer_used[node] -= size
+                retrieved += size
+        if retrieved:
+            self.ledger.network.record(retrieved, now)
+            self.ledger.storage.record(retrieved, now)
+            self._stored.add(trace.trace_id)
+
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        status = "exact" if trace_id in self._stored else "miss"
+        return FrameworkQueryResult(trace_id=trace_id, status=status)
+
+    def stored_trace_ids(self) -> set[str]:
+        return set(self._stored)

@@ -1,0 +1,159 @@
+"""Mint behind the common :class:`TracingFramework` interface.
+
+Deploys one agent + collector per application node (nodes are
+discovered from incoming spans), a shared backend, and transports that
+charge the network meter with every report's wire size.  Storage is
+whatever the backend's storage engine actually persists — patterns,
+Bloom filters and sampled parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.agent.agent import MintAgent
+from repro.agent.collector import MintCollector
+from repro.agent.config import MintConfig
+from repro.agent.reports import Report
+from repro.agent.samplers import Sampler
+from repro.backend.backend import MintBackend
+from repro.backend.querier import QueryResult
+from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.model.span import Span
+from repro.model.trace import Trace
+
+SamplerFactory = Callable[[], Sampler]
+
+
+class MintFramework(TracingFramework):
+    """The full Mint deployment as one comparable framework."""
+
+    name = "Mint"
+
+    def __init__(
+        self,
+        config: MintConfig | None = None,
+        extra_sampler_factories: list[SamplerFactory] | None = None,
+        auto_warmup_traces: int = 100,
+    ) -> None:
+        super().__init__()
+        self.config = config or MintConfig()
+        self._extra_factories = list(extra_sampler_factories or [])
+        self.backend = MintBackend(
+            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
+            bloom_fpp=self.config.bloom_fpp,
+            notify_meter=self._charge_notify,
+        )
+        self._collectors: dict[str, MintCollector] = {}
+        self._now = 0.0
+        self._warmed_up = False
+        self._auto_warmup_traces = auto_warmup_traces
+        self._warmup_queue: list[Trace] = []
+        self._last_storage = 0
+
+    # ------------------------------------------------------------------
+    # Warm-up (paper Section 3.2.1 offline stage)
+    # ------------------------------------------------------------------
+    def warm_up(self, traces: Iterable[Trace]) -> None:
+        """Run the offline warm-up on sampled raw traces.
+
+        Spans are routed to their node's agent; each agent builds its
+        attribute parsers from its local sample.  Warm-up happens before
+        any metering — the paper treats it as an offline bootstrap.
+        """
+        per_node: dict[str, list[Span]] = {}
+        for trace in traces:
+            for span in trace.spans:
+                per_node.setdefault(span.node, []).append(span)
+        for node, spans in per_node.items():
+            collector = self._collector_for(node)
+            collector.agent.warm_up(spans)
+        self._warmed_up = True
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        self._now = now
+        if not self._warmed_up:
+            self._warmup_queue.append(trace)
+            if len(self._warmup_queue) >= self._auto_warmup_traces:
+                self._drain_warmup_queue()
+            return
+        self._process_online(trace, now)
+
+    def _drain_warmup_queue(self) -> None:
+        queued = self._warmup_queue
+        self._warmup_queue = []
+        self.warm_up(queued)
+        for trace in queued:
+            self._process_online(trace, self._now)
+
+    def _process_online(self, trace: Trace, now: float) -> None:
+        sampled_on: list[str] = []
+        for sub_trace in trace.sub_traces():
+            collector = self._collector_for(sub_trace.node)
+            result = collector.process(sub_trace, now)
+            if result.sampled:
+                sampled_on.append(sub_trace.node)
+        for node in sampled_on:
+            self.backend.notify_sampled(trace.trace_id, origin_node=node)
+        self._sync_storage_meter(now)
+
+    def finalize(self, now: float = 0.0) -> None:
+        """Flush warm-up queue, pattern reports, Bloom filters, params."""
+        self._now = now
+        if not self._warmed_up and self._warmup_queue:
+            self._drain_warmup_queue()
+        for collector in self._collectors.values():
+            collector.flush(now)
+        self._sync_storage_meter(now)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        result = self.backend.query(trace_id)
+        return FrameworkQueryResult(trace_id=trace_id, status=result.status)
+
+    def query_full(self, trace_id: str) -> QueryResult:
+        """Mint-specific query returning the reconstructed trace or the
+        approximate trace (not just the status)."""
+        return self.backend.query(trace_id)
+
+    def stored_trace_ids(self) -> set[str]:
+        return set(self.backend.storage.params)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _collector_for(self, node: str) -> MintCollector:
+        collector = self._collectors.get(node)
+        if collector is not None:
+            return collector
+        agent = MintAgent(
+            node=node,
+            config=self.config,
+            extra_samplers=[factory() for factory in self._extra_factories],
+        )
+        collector = MintCollector(
+            agent=agent,
+            transport=self._transport,
+            config=self.config,
+        )
+        self._collectors[node] = collector
+        self.backend.register_collector(collector)
+        return collector
+
+    def _transport(self, report: Report) -> None:
+        self.ledger.network.record(report.size_bytes(), self._now)
+        self.backend.receive(report)
+
+    def _charge_notify(self, node: str, nbytes: int) -> None:
+        self.ledger.network.record(nbytes, self._now)
+
+    def _sync_storage_meter(self, now: float) -> None:
+        current = self.backend.storage_bytes()
+        if current > self._last_storage:
+            self.ledger.storage.record(current - self._last_storage, now)
+            self._last_storage = current

@@ -1,0 +1,113 @@
+"""OpenTelemetry-style baselines: full, head-sampled, tail-sampled.
+
+These reproduce the semantics the paper configures (Section 5,
+"Baselines and implementation"): OT-Full reports and stores everything;
+OT-Head keeps a random fraction decided at trace start; OT-Tail reports
+everything (network cost unchanged) but persists only traces matching a
+filter — in the evaluation, the injected ``is_abnormal`` tag.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.model.encoding import encoded_size
+from repro.model.trace import Trace
+
+
+def is_abnormal_trace(trace: Trace) -> bool:
+    """The evaluation's tail-sampling predicate: any span tagged
+    ``is_abnormal``."""
+    for span in trace.spans:
+        if span.attributes.get("is_abnormal") in (True, "true", 1):
+            return True
+    return False
+
+
+class OTFull(TracingFramework):
+    """OpenTelemetry with a 100 % sampling rate (no reduction)."""
+
+    name = "OT-Full"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stored: dict[str, int] = {}
+
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        size = encoded_size(trace)
+        self.ledger.network.record(size, now)
+        self.ledger.storage.record(size, now)
+        self._stored[trace.trace_id] = size
+
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        status = "exact" if trace_id in self._stored else "miss"
+        return FrameworkQueryResult(trace_id=trace_id, status=status)
+
+    def stored_trace_ids(self) -> set[str]:
+        return set(self._stored)
+
+
+class OTHead(TracingFramework):
+    """Head sampling: keep a deterministic-per-trace-id fraction.
+
+    Unsampled traces cost nothing anywhere (the decision is made at the
+    trace's birth and propagated in context), which is why head sampling
+    reduces both network and storage to the sampling rate.
+    """
+
+    name = "OT-Head"
+
+    def __init__(self, rate: float = 0.05, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self._seed = seed
+        self._stored: set[str] = set()
+
+    def sampled(self, trace_id: str) -> bool:
+        """Per-trace-id coin flip, identical on every node."""
+        return random.Random(f"{self._seed}:{trace_id}").random() < self.rate
+
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        if not self.sampled(trace.trace_id):
+            return
+        size = encoded_size(trace)
+        self.ledger.network.record(size, now)
+        self.ledger.storage.record(size, now)
+        self._stored.add(trace.trace_id)
+
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        status = "exact" if trace_id in self._stored else "miss"
+        return FrameworkQueryResult(trace_id=trace_id, status=status)
+
+    def stored_trace_ids(self) -> set[str]:
+        return set(self._stored)
+
+
+class OTTail(TracingFramework):
+    """Tail sampling: everything crosses the network; the backend keeps
+    only traces matching the filter predicate."""
+
+    name = "OT-Tail"
+
+    def __init__(self, predicate: Callable[[Trace], bool] | None = None) -> None:
+        super().__init__()
+        self.predicate = predicate or is_abnormal_trace
+        self._stored: set[str] = set()
+
+    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
+        size = encoded_size(trace)
+        self.ledger.network.record(size, now)
+        if self.predicate(trace):
+            self.ledger.storage.record(size, now)
+            self._stored.add(trace.trace_id)
+
+    def query(self, trace_id: str) -> FrameworkQueryResult:
+        status = "exact" if trace_id in self._stored else "miss"
+        return FrameworkQueryResult(trace_id=trace_id, status=status)
+
+    def stored_trace_ids(self) -> set[str]:
+        return set(self._stored)

@@ -1,0 +1,271 @@
+"""Robust Random Cut Forest (Guha et al., ICML 2016), from scratch.
+
+The substrate for the Sieve baseline (Huang et al., ICWS 2021), which
+scores traces by RRCF *collusive displacement* (CoDisp) and biases
+sampling towards anomalous (rare) traces.
+
+Supports the streaming protocol Sieve needs: insert a point, delete the
+oldest point (sliding window), and score any resident point.  Insertion
+follows the canonical algorithm — sample a random cut over the bounding
+box extended with the new point; if the cut separates the point,
+attach it there, otherwise recurse into the side containing it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+
+class _Leaf:
+    __slots__ = ("index", "point", "count", "parent")
+
+    def __init__(self, index: int, point: np.ndarray, parent: "_Internal | None") -> None:
+        self.index = index
+        self.point = point
+        self.count = 1
+        self.parent = parent
+
+
+class _Internal:
+    __slots__ = ("dim", "cut", "left", "right", "count", "bbox_min", "bbox_max", "parent")
+
+    def __init__(
+        self,
+        dim: int,
+        cut: float,
+        left: "_Node",
+        right: "_Node",
+        parent: "_Internal | None",
+    ) -> None:
+        self.dim = dim
+        self.cut = cut
+        self.left = left
+        self.right = right
+        self.parent = parent
+        self.count = 0
+        self.bbox_min: np.ndarray | None = None
+        self.bbox_max: np.ndarray | None = None
+
+
+_Node = _Leaf | _Internal
+
+
+class RandomCutTree:
+    """One random cut tree over points keyed by integer index."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._root: _Node | None = None
+        self._leaves: dict[int, _Leaf] = {}
+
+    def __len__(self) -> int:
+        return self._root.count if self._root is not None else 0
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._leaves
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, index: int, point: Sequence[float]) -> None:
+        """Insert ``point`` under key ``index``."""
+        if index in self._leaves:
+            raise KeyError(f"index {index} already in tree")
+        p = np.asarray(point, dtype=float)
+        if self._root is None:
+            leaf = _Leaf(index, p, None)
+            leaf.count = 1
+            self._root = leaf
+            self._leaves[index] = leaf
+            return
+        self._root = self._insert(self._root, p, index, None)
+        self._refresh_upward(self._leaves[index].parent)
+
+    def delete(self, index: int) -> None:
+        """Remove the point keyed ``index``; sibling replaces parent."""
+        leaf = self._leaves.pop(index, None)
+        if leaf is None:
+            raise KeyError(f"index {index} not in tree")
+        parent = leaf.parent
+        if parent is None:
+            self._root = None
+            return
+        sibling = parent.left if parent.right is leaf else parent.right
+        grand = parent.parent
+        sibling.parent = grand
+        if grand is None:
+            self._root = sibling
+        elif grand.left is parent:
+            grand.left = sibling
+        else:
+            grand.right = sibling
+        self._refresh_upward(grand)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def codisp(self, index: int) -> float:
+        """Collusive displacement of the resident point ``index``.
+
+        CoDisp(x) = max over subtrees S containing x of
+        |sibling(S)| / |S|; isolated singletons in a big tree score high.
+        """
+        leaf = self._leaves.get(index)
+        if leaf is None:
+            raise KeyError(f"index {index} not in tree")
+        best = 0.0
+        node: _Node = leaf
+        while node.parent is not None:
+            parent = node.parent
+            sibling = parent.left if parent.right is node else parent.right
+            ratio = sibling.count / node.count
+            if ratio > best:
+                best = ratio
+            node = parent
+        return best
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert(
+        self, node: _Node, p: np.ndarray, index: int, parent: _Internal | None
+    ) -> _Node:
+        bbox_min, bbox_max = self._bbox(node)
+        ext_min = np.minimum(bbox_min, p)
+        ext_max = np.maximum(bbox_max, p)
+        spans = ext_max - ext_min
+        total = float(spans.sum())
+        if total <= 0.0:
+            # Duplicate of an existing degenerate box: extend a leaf's
+            # multiplicity or descend arbitrarily.
+            if isinstance(node, _Leaf):
+                # Represent the duplicate as a sibling pair with a cut in
+                # a zero-span box: attach alongside via a trivial split.
+                leaf = _Leaf(index, p, None)
+                branch = _Internal(0, float(p[0]), node, leaf, parent)
+                node.parent = branch
+                leaf.parent = branch
+                self._leaves[index] = leaf
+                self._refresh(branch)
+                return branch
+            child = self._insert(node.left, p, index, node)
+            node.left = child
+            self._refresh(node)
+            return node
+        r = self._rng.random() * total
+        cum = 0.0
+        dim = 0
+        for d in range(len(spans)):
+            cum += float(spans[d])
+            if r <= cum:
+                dim = d
+                break
+        offset = r - (cum - float(spans[dim]))
+        cut = float(ext_min[dim]) + offset
+        separates = cut < float(bbox_min[dim]) or cut >= float(bbox_max[dim])
+        if separates and not (bbox_min[dim] == bbox_max[dim] == p[dim]):
+            leaf = _Leaf(index, p, None)
+            if p[dim] <= cut:
+                branch = _Internal(dim, cut, leaf, node, parent)
+            else:
+                branch = _Internal(dim, cut, node, leaf, parent)
+            node.parent = branch
+            leaf.parent = branch
+            self._leaves[index] = leaf
+            self._refresh(branch)
+            return branch
+        if isinstance(node, _Leaf):
+            # Cut failed to separate (p inside the leaf's point box):
+            # force a separating cut on any differing dimension.
+            diff_dims = [d for d in range(len(p)) if p[d] != node.point[d]]
+            if not diff_dims:
+                leaf = _Leaf(index, p, None)
+                branch = _Internal(0, float(p[0]), node, leaf, parent)
+                node.parent = branch
+                leaf.parent = branch
+                self._leaves[index] = leaf
+                self._refresh(branch)
+                return branch
+            d = self._rng.choice(diff_dims)
+            lo, hi = sorted((float(p[d]), float(node.point[d])))
+            cut = lo + self._rng.random() * (hi - lo)
+            leaf = _Leaf(index, p, None)
+            if p[d] <= cut:
+                branch = _Internal(d, cut, leaf, node, parent)
+            else:
+                branch = _Internal(d, cut, node, leaf, parent)
+            node.parent = branch
+            leaf.parent = branch
+            self._leaves[index] = leaf
+            self._refresh(branch)
+            return branch
+        if p[node.dim] <= node.cut:
+            node.left = self._insert(node.left, p, index, node)
+        else:
+            node.right = self._insert(node.right, p, index, node)
+        self._refresh(node)
+        return node
+
+    def _bbox(self, node: _Node) -> tuple[np.ndarray, np.ndarray]:
+        if isinstance(node, _Leaf):
+            return node.point, node.point
+        if node.bbox_min is None or node.bbox_max is None:
+            self._refresh(node)
+        assert node.bbox_min is not None and node.bbox_max is not None
+        return node.bbox_min, node.bbox_max
+
+    def _refresh(self, node: _Internal) -> None:
+        lmin, lmax = self._bbox(node.left)
+        rmin, rmax = self._bbox(node.right)
+        node.bbox_min = np.minimum(lmin, rmin)
+        node.bbox_max = np.maximum(lmax, rmax)
+        node.count = node.left.count + node.right.count
+
+    def _refresh_upward(self, node: _Internal | None) -> None:
+        while node is not None:
+            self._refresh(node)
+            node = node.parent
+
+
+class RobustRandomCutForest:
+    """Forest of random cut trees with a sliding window.
+
+    ``score(point)`` inserts the point into every tree, reads the mean
+    CoDisp, and evicts the oldest resident point when the window is
+    full, matching Sieve's streaming usage.
+    """
+
+    def __init__(
+        self,
+        num_trees: int = 20,
+        window_size: int = 256,
+        seed: int = 1,
+    ) -> None:
+        if num_trees <= 0 or window_size <= 1:
+            raise ValueError("need at least one tree and a window of 2+")
+        self.num_trees = num_trees
+        self.window_size = window_size
+        self._trees = [RandomCutTree(seed=seed + t) for t in range(num_trees)]
+        self._next_index = 0
+        self._resident: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def score(self, point: Sequence[float]) -> float:
+        """Insert ``point``, return its mean CoDisp across trees."""
+        index = self._next_index
+        self._next_index += 1
+        for tree in self._trees:
+            tree.insert(index, point)
+        self._resident.append(index)
+        if len(self._resident) > self.window_size:
+            oldest = self._resident.pop(0)
+            for tree in self._trees:
+                tree.delete(oldest)
+        return float(
+            sum(tree.codisp(index) for tree in self._trees) / self.num_trees
+        )

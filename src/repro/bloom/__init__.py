@@ -1,0 +1,10 @@
+"""Space-efficient probabilistic set membership (paper Section 3.3)."""
+
+from repro.bloom.bloom_filter import (
+    BloomFilter,
+    optimal_bit_count,
+    optimal_hash_count,
+    sized_for_bytes,
+)
+
+__all__ = ["BloomFilter", "optimal_bit_count", "optimal_hash_count", "sized_for_bytes"]

@@ -1,0 +1,163 @@
+"""A from-scratch Bloom filter with the guarantees Mint relies on.
+
+Paper Section 3.3: *"While Bloom Filters might falsely indicate that a
+trace belongs to a pattern, they will never miss a trace that does
+belong, ensuring trace coherence."*
+
+The implementation mirrors Guava's (which the paper uses): given an
+expected insertion count ``n`` and a target false-positive probability
+``p``, the bit count is ``m = -n ln p / (ln 2)^2`` and the hash count is
+``k = (m / n) ln 2``.  Double hashing over two independent 64-bit
+digests generates the ``k`` probe positions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+
+def optimal_bit_count(expected_insertions: int, false_positive_probability: float) -> int:
+    """Guava's formula: bits needed for ``n`` insertions at fpp ``p``."""
+    if expected_insertions <= 0:
+        raise ValueError("expected_insertions must be positive")
+    if not 0.0 < false_positive_probability < 1.0:
+        raise ValueError("false_positive_probability must be in (0, 1)")
+    bits = -expected_insertions * math.log(false_positive_probability) / (math.log(2) ** 2)
+    return max(8, int(math.ceil(bits)))
+
+
+def optimal_hash_count(bit_count: int, expected_insertions: int) -> int:
+    """Guava's formula: hash functions for ``m`` bits and ``n`` insertions."""
+    k = (bit_count / expected_insertions) * math.log(2)
+    return max(1, int(round(k)))
+
+
+def _digest_pair(item: str) -> tuple[int, int]:
+    digest = hashlib.sha256(item.encode("utf-8")).digest()
+    return (
+        int.from_bytes(digest[:8], "big"),
+        int.from_bytes(digest[8:16], "big"),
+    )
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over strings.
+
+    Parameters
+    ----------
+    expected_insertions:
+        Capacity the filter is sized for.  Inserting more than this
+        degrades the false-positive rate (it never causes misses).
+    false_positive_probability:
+        Target fpp at capacity.  The paper's default is 0.01.
+    """
+
+    def __init__(
+        self,
+        expected_insertions: int = 1000,
+        false_positive_probability: float = 0.01,
+    ) -> None:
+        self.expected_insertions = expected_insertions
+        self.false_positive_probability = false_positive_probability
+        self.bit_count = optimal_bit_count(expected_insertions, false_positive_probability)
+        self.hash_count = optimal_hash_count(self.bit_count, expected_insertions)
+        self._bits = bytearray((self.bit_count + 7) // 8)
+        self._inserted = 0
+
+    def __len__(self) -> int:
+        return self._inserted
+
+    def _positions(self, item: str) -> Iterable[int]:
+        h1, h2 = _digest_pair(item)
+        for i in range(self.hash_count):
+            yield (h1 + i * h2) % self.bit_count
+
+    def add(self, item: str) -> None:
+        """Insert ``item``; afterwards ``item in self`` is always True."""
+        for pos in self._positions(item):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+        self._inserted += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
+        )
+
+    @property
+    def is_full(self) -> bool:
+        """True once the filter has absorbed its sized-for capacity.
+
+        Mint reports and resets a filter at this point (paper
+        Section 4.1: fixed 4 KB buffers, flushed when full).
+        """
+        return self._inserted >= self.expected_insertions
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the bit array (what gets uploaded)."""
+        return len(self._bits)
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set — a health signal for fpp drift."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.bit_count
+
+    def estimated_fpp(self) -> float:
+        """Current false-positive probability from the saturation level."""
+        return self.saturation**self.hash_count
+
+    def to_bytes(self) -> bytes:
+        """Serialise the bit array for reporting."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        payload: bytes,
+        expected_insertions: int,
+        false_positive_probability: float,
+        inserted: int = 0,
+    ) -> "BloomFilter":
+        """Rebuild a reported filter on the backend."""
+        filt = cls(expected_insertions, false_positive_probability)
+        if len(payload) != len(filt._bits):
+            raise ValueError(
+                f"payload is {len(payload)} bytes, expected {len(filt._bits)}"
+            )
+        filt._bits = bytearray(payload)
+        filt._inserted = inserted
+        return filt
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Merge two filters built with identical parameters."""
+        if (
+            self.bit_count != other.bit_count
+            or self.hash_count != other.hash_count
+        ):
+            raise ValueError("cannot union filters with different geometry")
+        merged = BloomFilter(self.expected_insertions, self.false_positive_probability)
+        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
+        merged._inserted = self._inserted + other._inserted
+        return merged
+
+
+def sized_for_bytes(
+    buffer_bytes: int, false_positive_probability: float = 0.01
+) -> BloomFilter:
+    """Build the largest filter that fits in ``buffer_bytes`` (paper
+    default: 4 KB buffers per topo pattern).
+
+    Works backwards from the bit budget to the insertion capacity at the
+    requested fpp.
+    """
+    bit_count = buffer_bytes * 8
+    capacity = int(bit_count * (math.log(2) ** 2) / -math.log(false_positive_probability))
+    capacity = max(1, capacity)
+    filt = BloomFilter(capacity, false_positive_probability)
+    while filt.size_bytes > buffer_bytes and capacity > 1:
+        capacity -= max(1, capacity // 100)
+        filt = BloomFilter(capacity, false_positive_probability)
+    return filt

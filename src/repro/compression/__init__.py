@@ -1,0 +1,30 @@
+"""Lossless trace compression: Mint vs. log-specific compressors.
+
+Reproduces the Table 4 comparison: LogZip, LogReducer and CLP (log
+compressors applied to serialised trace lines) against Mint's
+trace-aware two-level parsing, plus the two ablations (without
+inter-span parsing, without inter-trace parsing).
+
+All compressors share one rule from the paper: compressed data must
+remain directly queryable — no opaque byte-stream entropy coding — so
+every "compressed size" here is the canonical encoded size of the
+template dictionaries plus the per-record residuals.
+"""
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.corpus import spans_as_lines, corpus_raw_bytes
+from repro.compression.logzip import LogZipCompressor
+from repro.compression.logreducer import LogReducerCompressor
+from repro.compression.clp import CLPCompressor
+from repro.compression.mint_compressor import MintCompressor
+
+__all__ = [
+    "Compressor",
+    "CompressionResult",
+    "spans_as_lines",
+    "corpus_raw_bytes",
+    "LogZipCompressor",
+    "LogReducerCompressor",
+    "CLPCompressor",
+    "MintCompressor",
+]

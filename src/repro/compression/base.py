@@ -1,0 +1,36 @@
+"""Compressor interface and shared accounting."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.trace import Trace
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of compressing one corpus of traces."""
+
+    compressor: str
+    raw_bytes: int
+    compressed_bytes: int
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Raw size over compressed size (higher is better)."""
+        if self.compressed_bytes <= 0:
+            return float("inf")
+        return self.raw_bytes / self.compressed_bytes
+
+
+class Compressor(abc.ABC):
+    """One queryable-compression scheme over a trace corpus."""
+
+    name: str = "compressor"
+
+    @abc.abstractmethod
+    def compress(self, traces: list[Trace]) -> CompressionResult:
+        """Compress the corpus and account every stored byte."""

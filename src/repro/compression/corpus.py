@@ -1,0 +1,36 @@
+"""Rendering traces as log lines for the log-compressor baselines.
+
+Log compressors have no notion of topology: they see a flat stream of
+text lines.  Each span becomes one line carrying all of its fields —
+the same information content the trace encoding carries, so compression
+ratios of log-style and trace-style schemes are comparable.
+"""
+
+from __future__ import annotations
+
+from repro.model.encoding import encoded_size
+from repro.model.span import Span
+from repro.model.trace import Trace
+
+
+def span_as_line(span: Span) -> str:
+    """One flat, log-like text line for a span."""
+    attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    return (
+        f"{span.start_time:.6f} {span.service} {span.name} "
+        f"trace={span.trace_id} span={span.span_id} parent={span.parent_id or '-'} "
+        f"kind={span.kind.value} status={span.status.value} node={span.node} "
+        f"duration={span.duration} {attrs}"
+    )
+
+
+def spans_as_lines(traces: list[Trace]) -> list[str]:
+    """Flatten a corpus to log lines, one per span."""
+    return [span_as_line(span) for trace in traces for span in trace.spans]
+
+
+def corpus_raw_bytes(traces: list[Trace]) -> int:
+    """Canonical raw size of the corpus — the numerator of every ratio."""
+    return sum(encoded_size(trace) for trace in traces)

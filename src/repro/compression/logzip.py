@@ -1,0 +1,86 @@
+"""LogZip-style compression (Liu et al., ASE 2019).
+
+LogZip extracts hidden structures via iterative clustering: lines are
+grouped into templates, and each line is stored as a template id plus
+its variable fields.  Our reimplementation keeps the information layout
+(template dictionary + per-line residual) without the byte-level
+entropy coding, per the evaluation's "queryable compression" ground
+rule.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.corpus import corpus_raw_bytes, spans_as_lines
+from repro.model.encoding import encoded_size
+from repro.model.trace import Trace
+
+WILDCARD = "<*>"
+
+
+def _tokens(line: str) -> list[str]:
+    return line.split(" ")
+
+
+def extract_line_template(lines_tokens: list[list[str]]) -> list[str]:
+    """Position-wise template over same-length token lists: a token is
+    kept when all lines agree, else replaced with ``<*>``."""
+    first = lines_tokens[0]
+    template = list(first)
+    for tokens in lines_tokens[1:]:
+        for i, token in enumerate(tokens):
+            if template[i] != WILDCARD and template[i] != token:
+                template[i] = WILDCARD
+    return template
+
+
+class LogZipCompressor(Compressor):
+    """Iterative-clustering template compression for log lines."""
+
+    name = "LogZip"
+
+    def __init__(self, max_cluster_rounds: int = 3) -> None:
+        self.max_cluster_rounds = max_cluster_rounds
+
+    def compress(self, traces: list[Trace]) -> CompressionResult:
+        lines = spans_as_lines(traces)
+        raw = corpus_raw_bytes(traces)
+        # Round 1: bucket by token count (LogZip's coarse structure).
+        buckets: dict[int, list[list[str]]] = defaultdict(list)
+        for line in lines:
+            tokens = _tokens(line)
+            buckets[len(tokens)].append(tokens)
+        templates: list[list[str]] = []
+        encoded_lines = 0
+        for _, group in sorted(buckets.items()):
+            # Round 2: split each bucket by its first diverging prefix
+            # token (LogZip's iterative refinement, bounded rounds).
+            subgroups: dict[str, list[list[str]]] = defaultdict(list)
+            for tokens in group:
+                anchor = tokens[1] if len(tokens) > 1 else tokens[0]
+                subgroups[anchor].append(tokens)
+            for _, sub in sorted(subgroups.items()):
+                template = extract_line_template(sub)
+                template_id = len(templates)
+                templates.append(template)
+                for tokens in sub:
+                    variables = [
+                        tok
+                        for tok, tmpl in zip(tokens, template)
+                        if tmpl == WILDCARD
+                    ]
+                    encoded_lines += encoded_size([template_id, variables])
+        dictionary_bytes = encoded_size([" ".join(t) for t in templates])
+        compressed = dictionary_bytes + encoded_lines
+        return CompressionResult(
+            compressor=self.name,
+            raw_bytes=raw,
+            compressed_bytes=compressed,
+            details={
+                "templates": len(templates),
+                "dictionary_bytes": dictionary_bytes,
+                "residual_bytes": encoded_lines,
+            },
+        )

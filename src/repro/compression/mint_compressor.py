@@ -1,0 +1,379 @@
+"""Mint's lossless trace compression, with the Table 4 ablations.
+
+Three modes:
+
+* ``full`` — both parsing levels.  Span patterns and topo patterns form
+  the dictionary; each sub-trace stores only its trace id, topo pattern
+  id, span ids in canonical (pattern tree pre-order) order, entry-span
+  parent links, start times and parameter values.  Parent relations and
+  per-span pattern ids are *not* stored per span — they are implied by
+  the topo pattern, which is where trace-aware compression beats
+  log-style template compression.
+* ``no_span`` (paper's w/o S_p) — topology is deduplicated but span
+  attributes are stored raw.
+* ``no_trace`` (paper's w/o T_p) — spans are templated but topology is
+  stored explicitly per span (parent ids + pattern ids).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.corpus import corpus_raw_bytes
+from repro.model.encoding import encoded_size, span_to_dict
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import SubTrace, Trace
+from repro.parsing.span_parser import ParsedSpan, SpanParser, reconstruct_exact_span
+from repro.parsing.trace_parser import (
+    TopoNode,
+    TopoPattern,
+    TopoPatternLibrary,
+    extract_topo_pattern,
+)
+
+_MODES = ("full", "no_span", "no_trace")
+
+
+def canonical_span_order(
+    sub_trace: SubTrace, pattern_key: dict[str, str]
+) -> list[str]:
+    """Span ids of a sub-trace in the topo pattern's canonical pre-order.
+
+    ``pattern_key`` maps span id -> the identity used in the topo tree
+    (the span pattern id, or a coarse structural key in ``no_span``
+    mode).  Mirrors :func:`extract_topo_pattern`'s child ordering so the
+    i-th stored record corresponds to the i-th tree node.
+    """
+
+    def build(span_id: str) -> tuple[TopoNode, list[str]]:
+        child_results = [
+            build(child.span_id) for child in sub_trace.local_children(span_id)
+        ]
+        child_results.sort(key=lambda item: repr(item[0]))
+        node: TopoNode = (
+            pattern_key[span_id],
+            tuple(item[0] for item in child_results),
+        )
+        order = [span_id]
+        for _, child_order in child_results:
+            order.extend(child_order)
+        return node, order
+
+    entries = [build(s.span_id) for s in sub_trace.entry_spans()]
+    entries.sort(key=lambda item: repr(item[0]))
+    out: list[str] = []
+    for _, order in entries:
+        out.extend(order)
+    return out
+
+
+class MintCompressor(Compressor):
+    """Commonality + variability compression over a trace corpus."""
+
+    def __init__(
+        self,
+        mode: str = "full",
+        similarity_threshold: float = 0.8,
+        alpha: float = 0.5,
+        warmup_sample: int = 500,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        self.similarity_threshold = similarity_threshold
+        self.alpha = alpha
+        self.warmup_sample = warmup_sample
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return {"full": "Mint", "no_span": "Mint w/o Sp", "no_trace": "Mint w/o Tp"}[
+            self.mode
+        ]
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(self, traces: list[Trace]) -> CompressionResult:
+        raw = corpus_raw_bytes(traces)
+        if self.mode == "no_span":
+            return self._compress_no_span(traces, raw)
+        span_parser = SpanParser(
+            similarity_threshold=self.similarity_threshold, alpha=self.alpha
+        )
+        warmup_spans = [
+            span for trace in traces[: self.warmup_sample] for span in trace.spans
+        ]
+        span_parser.warm_up(warmup_spans[: self.warmup_sample * 4])
+        if self.mode == "no_trace":
+            return self._compress_no_trace(traces, raw, span_parser)
+        return self._compress_full(traces, raw, span_parser)
+
+    def _compress_full(
+        self, traces: list[Trace], raw: int, span_parser: SpanParser
+    ) -> CompressionResult:
+        topo_library = TopoPatternLibrary()
+        topo_index: dict[str, int] = {}
+        records: list[list[Any]] = []
+        residual_bytes = 0
+        for trace in traces:
+            for sub in trace.sub_traces():
+                parsed = {s.span_id: span_parser.parse(s) for s in sub}
+                pattern = extract_topo_pattern(sub, parsed)
+                topo_id = topo_library.register(pattern)
+                topo_idx = topo_index.setdefault(topo_id, len(topo_index))
+                key_map = {sid: p.pattern_id for sid, p in parsed.items()}
+                order = canonical_span_order(sub, key_map)
+                local = {s.span_id for s in sub}
+                base_time = min(parsed[sid].start_time for sid in order)
+                span_ids: list[str] = []
+                entry_parents: dict[str, str | None] = {}
+                starts: list[float] = []
+                values: list[Any] = []
+                for index, span_id in enumerate(order):
+                    p = parsed[span_id]
+                    span_ids.append(span_id)
+                    if p.parent_id is None or p.parent_id not in local:
+                        entry_parents[str(index)] = p.parent_id
+                    # Start times are millisecond deltas from the
+                    # sub-trace base — a few digits instead of a full
+                    # epoch float per span.
+                    starts.append(round(p.start_time - base_time, 3))
+                    sp = span_parser.library.get(p.pattern_id)
+                    # Values are flattened across spans: the topo pattern
+                    # fixes each span's pattern and therefore its
+                    # parameter count, so boundaries are implied.
+                    values.extend(p.params[key] for key, _, _ in sp.attributes)
+                record = [
+                    trace.trace_id,
+                    sub.node,
+                    topo_idx,
+                    round(base_time, 6),
+                    # Span ids are fixed-width hex; packing them into one
+                    # string drops the per-id quoting overhead.
+                    "".join(span_ids),
+                    entry_parents,
+                    starts,
+                    values,
+                ]
+                records.append(record)
+                residual_bytes += encoded_size(record)
+        dictionary_bytes = span_parser.library.size_bytes() + topo_library.size_bytes()
+        topo_by_index = {idx: pid for pid, idx in topo_index.items()}
+        return CompressionResult(
+            compressor=self.name,
+            raw_bytes=raw,
+            compressed_bytes=dictionary_bytes + residual_bytes,
+            details={
+                "span_patterns": len(span_parser.library),
+                "topo_patterns": len(topo_library),
+                "dictionary_bytes": dictionary_bytes,
+                "residual_bytes": residual_bytes,
+                "records": records,
+                "span_parser": span_parser,
+                "topo_library": topo_library,
+                "topo_by_index": topo_by_index,
+            },
+        )
+
+    def _compress_no_trace(
+        self, traces: list[Trace], raw: int, span_parser: SpanParser
+    ) -> CompressionResult:
+        residual_bytes = 0
+        for trace in traces:
+            for span in trace.spans:
+                parsed = span_parser.parse(span)
+                pattern = span_parser.library.get(parsed.pattern_id)
+                # Without inter-trace parsing there is no sub-trace
+                # grouping: every span is an independent row that must
+                # repeat its full topology part, trace id included.
+                record = [trace.trace_id] + parsed.compact_record(pattern)
+                residual_bytes += encoded_size(record)
+        dictionary_bytes = span_parser.library.size_bytes()
+        return CompressionResult(
+            compressor=self.name,
+            raw_bytes=raw,
+            compressed_bytes=dictionary_bytes + residual_bytes,
+            details={
+                "span_patterns": len(span_parser.library),
+                "dictionary_bytes": dictionary_bytes,
+                "residual_bytes": residual_bytes,
+            },
+        )
+
+    def _compress_no_span(self, traces: list[Trace], raw: int) -> CompressionResult:
+        topo_library = TopoPatternLibrary()
+        # Even without span parsing, identical attribute values are
+        # stored once and referenced by id — plain dictionary coding.
+        # What this ablation lacks is template extraction: any value
+        # with a variable part is a fresh dictionary entry every time.
+        value_dict: dict[str, int] = {}
+        residual_bytes = 0
+        for trace in traces:
+            for sub in trace.sub_traces():
+                key_map = {
+                    s.span_id: f"{s.service}|{s.name}|{s.kind.value}|{s.status.value}"
+                    for s in sub
+                }
+                pattern = _coarse_topo_pattern(sub, key_map)
+                topo_id = topo_library.register(pattern)
+                order = canonical_span_order(sub, key_map)
+                local = {s.span_id for s in sub}
+                spans_by_id = {s.span_id: s for s in sub}
+                payload: list[Any] = [trace.trace_id, sub.node, topo_id]
+                for index, span_id in enumerate(order):
+                    span = spans_by_id[span_id]
+                    entry_parent = (
+                        span.parent_id
+                        if (span.parent_id is None or span.parent_id not in local)
+                        else None
+                    )
+                    encoded_attrs: dict[str, Any] = {}
+                    for key, value in sorted(span.attributes.items()):
+                        if isinstance(value, str):
+                            var_id = value_dict.get(value)
+                            if var_id is None:
+                                var_id = len(value_dict)
+                                value_dict[value] = var_id
+                            encoded_attrs[key] = var_id
+                        else:
+                            encoded_attrs[key] = value
+                    payload.append(
+                        [
+                            span_id,
+                            entry_parent,
+                            round(span.start_time, 6),
+                            span.duration,
+                            encoded_attrs,
+                        ]
+                    )
+                residual_bytes += encoded_size(payload)
+        dictionary_bytes = topo_library.size_bytes() + encoded_size(list(value_dict))
+        return CompressionResult(
+            compressor=self.name,
+            raw_bytes=raw,
+            compressed_bytes=dictionary_bytes + residual_bytes,
+            details={
+                "topo_patterns": len(topo_library),
+                "dictionary_bytes": dictionary_bytes,
+                "residual_bytes": residual_bytes,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Decompression (losslessness check for the full mode)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def decompress_full(result: CompressionResult) -> list[Trace]:
+        """Rebuild the corpus from a ``full``-mode result.
+
+        Uses the artifacts kept in ``details``; spans come back with
+        their original ids, topology, attributes and durations (start
+        times rounded to the stored precision).
+        """
+        span_parser: SpanParser = result.details["span_parser"]
+        topo_library: TopoPatternLibrary = result.details["topo_library"]
+        topo_by_index: dict[int, str] = result.details["topo_by_index"]
+        spans_by_trace: dict[str, list[Span]] = {}
+        for record in result.details["records"]:
+            (
+                trace_id,
+                node,
+                topo_idx,
+                base_time,
+                packed_ids,
+                entry_parents,
+                starts,
+                values,
+            ) = record
+            pattern = topo_library.get(topo_by_index[topo_idx])
+            flat = _preorder_nodes(pattern)
+            span_ids = [
+                packed_ids[i : i + 16] for i in range(0, len(packed_ids), 16)
+            ]
+            bucket = spans_by_trace.setdefault(trace_id, [])
+            parent_of: dict[int, int] = {}
+            cursor = 0
+            for root in pattern.roots:
+                cursor = _assign_parents(root, None, cursor, parent_of)
+            value_cursor = 0
+            for index, (pattern_id, _) in enumerate(flat):
+                sp = span_parser.library.get(pattern_id)
+                n_attrs = len(sp.attributes)
+                span_values = values[value_cursor : value_cursor + n_attrs]
+                value_cursor += n_attrs
+                params = {
+                    key: span_values[i]
+                    for i, (key, _, _) in enumerate(sp.attributes)
+                }
+                parent_index = parent_of.get(index)
+                if str(index) in entry_parents:
+                    parent_id = entry_parents[str(index)]
+                elif parent_index is not None:
+                    parent_id = span_ids[parent_index]
+                else:
+                    parent_id = None
+                parsed = ParsedSpan(
+                    trace_id=trace_id,
+                    span_id=span_ids[index],
+                    parent_id=parent_id,
+                    node=node,
+                    start_time=round(base_time + starts[index], 6),
+                    pattern_id=pattern_id,
+                    params=params,
+                )
+                bucket.append(reconstruct_exact_span(sp, parsed))
+        return [
+            Trace(trace_id=tid, spans=sorted(spans, key=lambda s: (s.start_time, s.span_id)))
+            for tid, spans in sorted(spans_by_trace.items())
+        ]
+
+
+def _coarse_topo_pattern(sub: SubTrace, key_map: dict[str, str]) -> TopoPattern:
+    """Topo pattern over coarse structural keys (w/o S_p ablation)."""
+
+    def build(span_id: str) -> TopoNode:
+        children = [build(c.span_id) for c in sub.local_children(span_id)]
+        children.sort(key=repr)
+        return (key_map[span_id], tuple(children))
+
+    entries = sub.entry_spans()
+    roots = tuple(sorted((build(s.span_id) for s in entries), key=repr))
+    entry_ops = tuple(sorted({(s.service, s.name) for s in entries}))
+    exit_ops = tuple(
+        sorted(
+            {
+                (str(s.attributes.get("peer.service", "")), s.name)
+                for s in sub
+                if s.kind in (SpanKind.CLIENT, SpanKind.PRODUCER)
+            }
+        )
+    )
+    return TopoPattern(roots=roots, entry_ops=entry_ops, exit_ops=exit_ops)
+
+
+def _preorder_nodes(pattern: TopoPattern) -> list[tuple[str, int]]:
+    """(pattern_id, depth) pairs in pre-order across the forest."""
+    out: list[tuple[str, int]] = []
+
+    def visit(node: TopoNode, depth: int) -> None:
+        out.append((node[0], depth))
+        for child in node[1]:
+            visit(child, depth + 1)
+
+    for root in pattern.roots:
+        visit(root, 0)
+    return out
+
+
+def _assign_parents(
+    node: TopoNode, parent_index: int | None, cursor: int, out: dict[int, int]
+) -> int:
+    """Record each pre-order index's parent index; returns next cursor."""
+    index = cursor
+    if parent_index is not None:
+        out[index] = parent_index
+    cursor += 1
+    for child in node[1]:
+        cursor = _assign_parents(child, index, cursor, out)
+    return cursor

@@ -1,0 +1,36 @@
+"""Trace data model: spans, traces, sub-traces and wire encoding.
+
+This package is the substrate every other part of the reproduction builds
+on.  It mirrors the OpenTelemetry data model described in the paper
+(Section 2.2.3): every span has a *topology part* (trace/span/parent ids),
+a *metadata part* (name, kind, timing) and an *attributes part*
+(user-supplied key/value pairs such as SQL statements or thread names).
+"""
+
+from repro.model.ids import IdGenerator, new_span_id, new_trace_id
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import SubTrace, Trace, group_spans_by_trace
+from repro.model.encoding import (
+    decode_span,
+    decode_trace,
+    encode_span,
+    encode_trace,
+    encoded_size,
+)
+
+__all__ = [
+    "IdGenerator",
+    "new_trace_id",
+    "new_span_id",
+    "Span",
+    "SpanKind",
+    "SpanStatus",
+    "Trace",
+    "SubTrace",
+    "group_spans_by_trace",
+    "encode_span",
+    "decode_span",
+    "encode_trace",
+    "decode_trace",
+    "encoded_size",
+]

@@ -1,0 +1,91 @@
+"""Wire encoding of spans and traces, with byte accounting.
+
+The evaluation in the paper is fundamentally about *bytes*: network
+overhead is the bytes an agent sends to the backend, storage overhead is
+the bytes the backend persists.  This module defines a canonical
+JSON-lines encoding (close to OTLP/JSON in structure and size) and a
+single :func:`encoded_size` helper that all meters use, so every
+framework in the comparison is charged with the same ruler.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import Trace
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """Convert a span to a plain dict in canonical field order."""
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "service": span.service,
+        "kind": span.kind.value,
+        "start_time": span.start_time,
+        "duration": span.duration,
+        "status": span.status.value,
+        "node": span.node,
+        "attributes": dict(sorted(span.attributes.items())),
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild a span from :func:`span_to_dict` output."""
+    return Span(
+        trace_id=data["trace_id"],
+        span_id=data["span_id"],
+        parent_id=data.get("parent_id"),
+        name=data["name"],
+        service=data["service"],
+        kind=SpanKind(data.get("kind", "server")),
+        start_time=data.get("start_time", 0.0),
+        duration=data.get("duration", 0.0),
+        status=SpanStatus(data.get("status", "ok")),
+        node=data.get("node", "node-0"),
+        attributes=dict(data.get("attributes", {})),
+    )
+
+
+def encode_span(span: Span) -> str:
+    """Encode one span as a compact JSON document."""
+    return json.dumps(span_to_dict(span), separators=(",", ":"), sort_keys=False)
+
+
+def decode_span(payload: str) -> Span:
+    """Decode a span previously produced by :func:`encode_span`."""
+    return span_from_dict(json.loads(payload))
+
+
+def encode_trace(trace: Trace) -> str:
+    """Encode a whole trace as JSON lines, one span per line."""
+    return "\n".join(encode_span(span) for span in trace.spans)
+
+
+def decode_trace(payload: str) -> Trace:
+    """Decode a trace from :func:`encode_trace` output."""
+    spans = [decode_span(line) for line in payload.splitlines() if line]
+    if not spans:
+        raise ValueError("cannot decode a trace from an empty payload")
+    return Trace(trace_id=spans[0].trace_id, spans=spans)
+
+
+def encoded_size(obj: Any) -> int:
+    """Bytes of the canonical encoding of ``obj``.
+
+    Accepts spans, traces, strings, bytes, or anything JSON-serialisable;
+    this is the single size ruler used by every meter in the simulation.
+    """
+    if isinstance(obj, Span):
+        return len(encode_span(obj).encode("utf-8"))
+    if isinstance(obj, Trace):
+        return len(encode_trace(obj).encode("utf-8"))
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    return len(json.dumps(obj, separators=(",", ":"), default=str).encode("utf-8"))

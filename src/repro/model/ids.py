@@ -1,0 +1,83 @@
+"""Deterministic generation of trace and span identifiers.
+
+Real tracing SDKs generate random 128-bit trace ids and 64-bit span ids.
+For a reproduction we want the same *shape* (fixed-width hex strings that
+are unique within a run) while keeping every experiment deterministic, so
+identifiers come from a seeded :class:`IdGenerator`.
+"""
+
+from __future__ import annotations
+
+import random
+
+TRACE_ID_BITS = 128
+SPAN_ID_BITS = 64
+
+_TRACE_ID_HEX_LEN = TRACE_ID_BITS // 4
+_SPAN_ID_HEX_LEN = SPAN_ID_BITS // 4
+
+
+class IdGenerator:
+    """Produces unique, reproducible trace and span identifiers.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the internal random number generator.  Two generators
+        built with the same seed emit identical id sequences.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._seen_trace_ids: set[str] = set()
+
+    def trace_id(self) -> str:
+        """Return a new 32-hex-char trace id, unique for this generator."""
+        while True:
+            candidate = f"{self._rng.getrandbits(TRACE_ID_BITS):0{_TRACE_ID_HEX_LEN}x}"
+            if candidate not in self._seen_trace_ids:
+                self._seen_trace_ids.add(candidate)
+                return candidate
+
+    def span_id(self) -> str:
+        """Return a new 16-hex-char span id.
+
+        Span ids only need to be unique within a trace; collisions across
+        traces are harmless, so no global dedup set is kept.
+        """
+        return f"{self._rng.getrandbits(SPAN_ID_BITS):0{_SPAN_ID_HEX_LEN}x}"
+
+
+_DEFAULT_GENERATOR = IdGenerator(seed=0x5EED)
+
+
+def new_trace_id() -> str:
+    """Return a trace id from the module-level default generator."""
+    return _DEFAULT_GENERATOR.trace_id()
+
+
+def new_span_id() -> str:
+    """Return a span id from the module-level default generator."""
+    return _DEFAULT_GENERATOR.span_id()
+
+
+def is_valid_trace_id(value: str) -> bool:
+    """Check that ``value`` is a 32-character lowercase hex string."""
+    if len(value) != _TRACE_ID_HEX_LEN:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()
+
+
+def is_valid_span_id(value: str) -> bool:
+    """Check that ``value`` is a 16-character lowercase hex string."""
+    if len(value) != _SPAN_ID_HEX_LEN:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()

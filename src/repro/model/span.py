@@ -1,0 +1,105 @@
+"""The span: the unit of work recorded by a tracing framework.
+
+Matches the three-part structure from the paper's Fig. 4:
+
+* **topology part** — ``trace_id``, ``span_id``, ``parent_id``;
+* **metadata part** — ``name``, ``service``, ``kind``, ``start_time``,
+  ``duration``, ``status``;
+* **attributes part** — free-form key/value pairs (strings or numbers)
+  added by instrumentation, e.g. SQL text or thread names.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+AttributeValue = Union[str, int, float]
+
+
+class SpanKind(enum.Enum):
+    """Role of the span in an invocation, mirroring OpenTelemetry."""
+
+    SERVER = "server"
+    CLIENT = "client"
+    INTERNAL = "internal"
+    PRODUCER = "producer"
+    CONSUMER = "consumer"
+
+
+class SpanStatus(enum.Enum):
+    """Outcome of the unit of work."""
+
+    OK = "ok"
+    ERROR = "error"
+    UNSET = "unset"
+
+
+@dataclass
+class Span:
+    """A single unit of work within a distributed trace.
+
+    ``attributes`` maps attribute keys to string or numeric values.  The
+    paper treats these two types differently during parsing (string
+    values are templated, numeric values are bucketed), so values should
+    be stored with their natural Python type rather than stringified.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    service: str
+    kind: SpanKind = SpanKind.SERVER
+    start_time: float = 0.0
+    duration: float = 0.0
+    status: SpanStatus = SpanStatus.OK
+    node: str = "node-0"
+    attributes: dict[str, AttributeValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.parent_id == "":
+            self.parent_id = None
+        if self.duration < 0:
+            raise ValueError(f"span duration must be >= 0, got {self.duration}")
+
+    @property
+    def is_root(self) -> bool:
+        """True when the span has no parent (entry point of the trace)."""
+        return self.parent_id is None
+
+    @property
+    def end_time(self) -> float:
+        """Completion timestamp of the span."""
+        return self.start_time + self.duration
+
+    def string_attributes(self) -> dict[str, str]:
+        """Return only the string-valued attributes."""
+        return {k: v for k, v in self.attributes.items() if isinstance(v, str)}
+
+    def numeric_attributes(self) -> dict[str, float]:
+        """Return only the numeric attributes (ints and floats)."""
+        return {
+            k: float(v)
+            for k, v in self.attributes.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+
+    def with_attributes(self, extra: dict[str, AttributeValue]) -> "Span":
+        """Return a copy of this span with ``extra`` merged into attributes."""
+        merged = dict(self.attributes)
+        merged.update(extra)
+        return Span(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            service=self.service,
+            kind=self.kind,
+            start_time=self.start_time,
+            duration=self.duration,
+            status=self.status,
+            node=self.node,
+            attributes=merged,
+        )

@@ -1,0 +1,163 @@
+"""Traces and sub-traces: tree-structured collections of spans.
+
+A *trace* is the full end-to-end record of one request.  A *sub-trace*
+(paper Section 3.3) is the fragment of a trace generated on a single
+node: the Mint agent only sees spans local to its node, links them by
+parent ids, and parses the resulting local tree.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.model.span import Span
+
+
+@dataclass
+class Trace:
+    """A complete distributed trace: all spans sharing one trace id."""
+
+    trace_id: str
+    spans: list[Span] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for span in self.spans:
+            if span.trace_id != self.trace_id:
+                raise ValueError(
+                    f"span {span.span_id} carries trace id {span.trace_id!r}, "
+                    f"expected {self.trace_id!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    @property
+    def root(self) -> Span | None:
+        """The entry span of the trace, or None for a fragment."""
+        for span in self.spans:
+            if span.is_root:
+                return span
+        return None
+
+    @property
+    def duration(self) -> float:
+        """End-to-end duration: root duration, else the span envelope."""
+        root = self.root
+        if root is not None:
+            return root.duration
+        if not self.spans:
+            return 0.0
+        start = min(s.start_time for s in self.spans)
+        end = max(s.end_time for s in self.spans)
+        return end - start
+
+    @property
+    def services(self) -> set[str]:
+        """All services that participated in the trace."""
+        return {span.service for span in self.spans}
+
+    @property
+    def has_error(self) -> bool:
+        """True when any span reported an error status."""
+        from repro.model.span import SpanStatus
+
+        return any(span.status is SpanStatus.ERROR for span in self.spans)
+
+    def children_of(self, span_id: str | None) -> list[Span]:
+        """Spans whose parent is ``span_id``, in start-time order."""
+        kids = [s for s in self.spans if s.parent_id == span_id]
+        return sorted(kids, key=lambda s: (s.start_time, s.span_id))
+
+    def span_by_id(self, span_id: str) -> Span | None:
+        """Look up a span by its id."""
+        for span in self.spans:
+            if span.span_id == span_id:
+                return span
+        return None
+
+    def depth(self) -> int:
+        """Height of the span tree (root = depth 1; empty trace = 0)."""
+        if not self.spans:
+            return 0
+        by_parent: dict[str | None, list[Span]] = defaultdict(list)
+        for span in self.spans:
+            by_parent[span.parent_id].append(span)
+        span_ids = {s.span_id for s in self.spans}
+        roots = [s for s in self.spans if s.parent_id not in span_ids]
+
+        def height(span: Span) -> int:
+            kids = by_parent.get(span.span_id, [])
+            if not kids:
+                return 1
+            return 1 + max(height(k) for k in kids)
+
+        return max(height(r) for r in roots) if roots else 1
+
+    def sub_traces(self) -> list["SubTrace"]:
+        """Split this trace into per-node sub-traces (paper Section 3.3)."""
+        by_node: dict[str, list[Span]] = defaultdict(list)
+        for span in self.spans:
+            by_node[span.node].append(span)
+        return [
+            SubTrace(trace_id=self.trace_id, node=node, spans=spans)
+            for node, spans in sorted(by_node.items())
+        ]
+
+
+@dataclass
+class SubTrace:
+    """The fragment of one trace observed on a single node.
+
+    The entry span of a sub-trace is the local span whose parent lives on
+    another node (or has no parent at all); exit operations are the local
+    spans that call out to other nodes.  These are what the backend uses
+    for upstream/downstream stitching (paper Section 6.2).
+    """
+
+    trace_id: str
+    node: str
+    spans: list[Span] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    @property
+    def local_span_ids(self) -> set[str]:
+        """Ids of spans belonging to this fragment."""
+        return {span.span_id for span in self.spans}
+
+    def entry_spans(self) -> list[Span]:
+        """Local spans whose parent is absent from this node."""
+        local = self.local_span_ids
+        return sorted(
+            (s for s in self.spans if s.parent_id is None or s.parent_id not in local),
+            key=lambda s: (s.start_time, s.span_id),
+        )
+
+    def local_children(self, span_id: str) -> list[Span]:
+        """Local spans parented on ``span_id``, in deterministic order."""
+        kids = [s for s in self.spans if s.parent_id == span_id]
+        return sorted(kids, key=lambda s: (s.start_time, s.span_id))
+
+
+def group_spans_by_trace(spans: Iterable[Span]) -> dict[str, Trace]:
+    """Join spans into :class:`Trace` objects keyed by trace id.
+
+    This is the backend-side join performed in stage 4 of the trace
+    lifecycle (paper Section 2.2.1).
+    """
+    buckets: dict[str, list[Span]] = defaultdict(list)
+    for span in spans:
+        buckets[span.trace_id].append(span)
+    return {
+        trace_id: Trace(trace_id=trace_id, spans=bucket)
+        for trace_id, bucket in buckets.items()
+    }

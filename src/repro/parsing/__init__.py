@@ -1,0 +1,60 @@
+"""Commonality + variability parsing: the paper's core contribution.
+
+Two levels of parsing (paper Section 3):
+
+* **inter-span** (:mod:`repro.parsing.span_parser`) — each attribute of a
+  span is split into a common *pattern* and variable *parameters*;
+  co-occurring attribute patterns form span patterns.
+* **inter-trace** (:mod:`repro.parsing.trace_parser`) — per-node
+  sub-traces are encoded as topology patterns over span pattern ids.
+"""
+
+from repro.parsing.tokenizer import tokenize, detokenize
+from repro.parsing.lcs import lcs_length, lcs_tokens, token_similarity
+from repro.parsing.clustering import cluster_strings
+from repro.parsing.string_patterns import StringTemplate, extract_template
+from repro.parsing.numeric_buckets import NumericBucketer
+from repro.parsing.prefix_tree import TemplatePrefixTree
+from repro.parsing.attribute_parser import (
+    AttributeParser,
+    NumericAttributeParser,
+    ParsedAttribute,
+    StringAttributeParser,
+)
+from repro.parsing.span_parser import (
+    ParsedSpan,
+    SpanParser,
+    SpanPattern,
+    SpanPatternLibrary,
+)
+from repro.parsing.trace_parser import (
+    ParsedSubTrace,
+    TopoPattern,
+    TopoPatternLibrary,
+    TraceParser,
+)
+
+__all__ = [
+    "tokenize",
+    "detokenize",
+    "lcs_length",
+    "lcs_tokens",
+    "token_similarity",
+    "cluster_strings",
+    "StringTemplate",
+    "extract_template",
+    "NumericBucketer",
+    "TemplatePrefixTree",
+    "AttributeParser",
+    "StringAttributeParser",
+    "NumericAttributeParser",
+    "ParsedAttribute",
+    "SpanParser",
+    "SpanPattern",
+    "SpanPatternLibrary",
+    "ParsedSpan",
+    "TraceParser",
+    "TopoPattern",
+    "TopoPatternLibrary",
+    "ParsedSubTrace",
+]

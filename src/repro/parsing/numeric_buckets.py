@@ -1,0 +1,163 @@
+"""Exponential-interval bucketing of numeric attribute values.
+
+Paper Section 3.2.1: choose a precision parameter alpha (0.5 by
+default), let gamma = (1 + alpha) / (1 - alpha); a value ``d`` falls in
+bucket ``i = ceil(log_gamma(d))`` so bucket ``B_i`` covers
+``(gamma^(i-1), gamma^i]``, with ``B_0`` covering ``(0, 1]``.
+
+The variable parameter recorded for a bucketed value is the *difference
+from the interval's lower bound* (Section 3.2.2), which makes exact
+reconstruction possible for sampled traces while unsampled traces keep
+only the bucket.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One exponential interval ``(lower, upper]`` with its index.
+
+    ``index`` carries a sign flag for negative inputs and the special
+    values handled beyond the paper (zero), see
+    :meth:`NumericBucketer.bucket_of`.
+    """
+
+    index: int
+    negative: bool
+    lower: float
+    upper: float
+
+    @property
+    def label(self) -> str:
+        """Interval rendering used in approximate traces, e.g. ``(27, 81]``."""
+        sign = "-" if self.negative else ""
+        return f"{sign}({_fmt(self.lower)}, {_fmt(self.upper)}]"
+
+    @property
+    def midpoint(self) -> float:
+        """Error-minimising representative for approximate reconstruction.
+
+        The harmonic mean of the bucket ends, ``2*l*u/(l+u)``, equalises
+        the relative error at both ends to ``(gamma-1)/(gamma+1) ==
+        alpha`` — the arithmetic midpoint would exceed alpha near the
+        lower end.  Bucket 0 (``(0, 1]``) has no positive lower end, so
+        its representative is ``upper/2``.
+        """
+        if self.upper == 0:
+            return 0.0
+        if self.lower == 0:
+            mid = self.upper / 2.0
+        else:
+            mid = 2.0 * self.lower * self.upper / (self.lower + self.upper)
+        return -mid if self.negative else mid
+
+
+def _fmt(x: float) -> str:
+    if x == int(x):
+        return str(int(x))
+    return f"{x:.6g}"
+
+
+def parse_bucket_label(label: str) -> tuple[bool, float, float]:
+    """Parse ``(lower, upper]`` (optionally ``-`` prefixed) back into
+    ``(negative, lower, upper)``.
+
+    Raises ``ValueError`` for strings that are not bucket labels, so the
+    backend can reconstruct numeric values from pattern text alone.
+    """
+    text = label.strip()
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:]
+    if not (text.startswith("(") and text.endswith("]")):
+        raise ValueError(f"not a bucket label: {label!r}")
+    lower_s, _, upper_s = text[1:-1].partition(",")
+    if not _:
+        raise ValueError(f"not a bucket label: {label!r}")
+    return negative, float(lower_s), float(upper_s)
+
+
+def reconstruct_from_label(label: str, parameter: float) -> float:
+    """Exact value from a bucket label plus the stored offset."""
+    negative, lower, _ = parse_bucket_label(label)
+    magnitude = lower + parameter
+    return -magnitude if negative else magnitude
+
+
+class NumericBucketer:
+    """Maps numbers to exponential buckets and back.
+
+    Parameters
+    ----------
+    alpha:
+        Precision in (0, 1).  Larger alpha means wider buckets (coarser
+        approximation, better aggregation).  The paper default is 0.5,
+        giving gamma = 3.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self.gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self.gamma)
+
+    def index_of(self, value: float) -> int:
+        """Bucket index for a positive magnitude, clamped at 0.
+
+        Values in ``(0, 1]`` all map to bucket 0 per the paper.
+        """
+        if value <= 0:
+            raise ValueError("index_of expects a positive magnitude")
+        raw = math.ceil(math.log(value) / self._log_gamma)
+        # Guard against float error putting gamma**k barely above k.
+        if raw > 0 and value <= self.gamma ** (raw - 1) * (1 + 1e-12):
+            raw -= 1
+        return max(0, raw)
+
+    def bucket_of(self, value: float) -> Bucket:
+        """Bucket containing ``value``.
+
+        Extensions beyond the paper (which only discusses positive
+        values): zero gets the degenerate bucket ``[0, 0]``; negative
+        values are bucketed by magnitude with a sign flag.
+        """
+        if value == 0:
+            return Bucket(index=0, negative=False, lower=0.0, upper=0.0)
+        negative = value < 0
+        magnitude = abs(value)
+        index = self.index_of(magnitude)
+        lower = 0.0 if index == 0 else self.gamma ** (index - 1)
+        upper = self.gamma**index
+        return Bucket(index=index, negative=negative, lower=lower, upper=upper)
+
+    def bucket_by_index(self, index: int, negative: bool = False) -> Bucket:
+        """Rebuild a bucket from its stored index (for decoding)."""
+        if index < 0:
+            raise ValueError(f"bucket index must be >= 0, got {index}")
+        lower = 0.0 if index == 0 else self.gamma ** (index - 1)
+        upper = self.gamma**index
+        return Bucket(index=index, negative=negative, lower=lower, upper=upper)
+
+    def parameter_of(self, value: float) -> float:
+        """Variable part: offset of ``value`` above its bucket's lower bound."""
+        bucket = self.bucket_of(value)
+        return abs(value) - bucket.lower
+
+    def reconstruct(self, bucket: Bucket, parameter: float) -> float:
+        """Exact value from bucket + parameter (inverse of the split)."""
+        magnitude = bucket.lower + parameter
+        return -magnitude if bucket.negative else magnitude
+
+    def relative_error_bound(self) -> float:
+        """Worst-case relative error of midpoint approximation.
+
+        For bucket ``(l, gamma*l]`` the midpoint is off by at most
+        ``(gamma - 1) / (gamma + 1) == alpha`` relative to the true
+        value, which is why the paper calls alpha the precision.
+        """
+        return self.alpha

@@ -1,0 +1,470 @@
+"""The Span Parser: inter-span commonality + variability analysis.
+
+Implements both stages from paper Section 3.2:
+
+* **offline** (:meth:`SpanParser.warm_up`) — sample m raw spans, cluster
+  each attribute's values, extract patterns, build per-attribute parsers;
+* **online** (:meth:`SpanParser.parse`) — Hierarchical Attribute Parsing:
+  every attribute is matched independently against its parser, the
+  matched attribute patterns are combined into a span pattern, and the
+  span pattern is looked up (or registered) in the Pattern Library.
+
+The output of parsing a span is a :class:`ParsedSpan`: a pattern id (the
+commonality) plus the variable parameters (the variability).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.model.encoding import encoded_size
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.parsing.attribute_parser import (
+    NumericAttributeParser,
+    ParamValue,
+    StringAttributeParser,
+)
+from repro.parsing.numeric_buckets import NumericBucketer
+from repro.parsing.string_patterns import template_from_text
+
+# Reserved attribute key under which the span's duration is parsed; the
+# paper's example in Fig. 7 buckets `duration` like any numeric attribute.
+DURATION_KEY = "__duration__"
+
+
+NUMERIC_MARKER = "<num>"
+
+
+@dataclass(frozen=True)
+class SpanPattern:
+    """The common part of a family of spans.
+
+    Identity covers everything that is structural: the span name,
+    service, kind, status, and for every attribute key its kind and
+    pattern — the template text for strings, the generic ``<num>``
+    marker for numerics.  Numeric *bucket ranges* are deliberately not
+    part of the identity: durations and sizes drift across exponential
+    buckets, and folding the bucket into the identity would cross-product
+    span patterns (and with them topo patterns) far beyond the dozens
+    the paper observes (Table 5).  Observed bucket ranges are tracked by
+    the :class:`SpanPatternLibrary` instead and rendered in approximate
+    traces (paper Fig. 10's "numbers are bucket-mapped").
+    """
+
+    name: str
+    service: str
+    kind: str
+    status: str
+    attributes: tuple[tuple[str, str, str], ...]  # (key, kind, pattern)
+
+    @property
+    def pattern_id(self) -> str:
+        """Stable 16-hex-char id derived from the pattern content.
+
+        The paper assigns UUIDs; a content hash keeps ids identical
+        across runs and across agents observing the same pattern, which
+        the backend merge relies on.
+        """
+        digest = hashlib.sha1(repr(self).encode("utf-8")).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialisable form, used for upload size accounting."""
+        return {
+            "pattern_id": self.pattern_id,
+            "name": self.name,
+            "service": self.service,
+            "kind": self.kind,
+            "status": self.status,
+            "attributes": [list(entry) for entry in self.attributes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanPattern":
+        """Rebuild a pattern from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            service=data["service"],
+            kind=data["kind"],
+            status=data["status"],
+            attributes=tuple(tuple(entry) for entry in data["attributes"]),
+        )
+
+    def masked_attributes(
+        self, numeric_ranges: dict[str, tuple[float, float]] | None = None
+    ) -> dict[str, str]:
+        """Attribute view for approximate traces.
+
+        String variables appear as ``<*>`` wildcards; numeric values
+        appear as their observed bucket interval when ``numeric_ranges``
+        is provided (else the generic ``<num>`` marker).
+        """
+        ranges = numeric_ranges or {}
+        out: dict[str, str] = {}
+        for key, kind, pattern in self.attributes:
+            if key == DURATION_KEY:
+                continue
+            if kind == "numeric":
+                out[key] = _render_range(ranges.get(key))
+            else:
+                out[key] = pattern
+        return out
+
+    def duration_pattern(
+        self, numeric_ranges: dict[str, tuple[float, float]] | None = None
+    ) -> str | None:
+        """Bucket interval observed for the span duration, if known."""
+        ranges = numeric_ranges or {}
+        for key, _, _ in self.attributes:
+            if key == DURATION_KEY:
+                return _render_range(ranges.get(DURATION_KEY))
+        return None
+
+
+def _render_range(bounds: tuple[float, float] | None) -> str:
+    if bounds is None:
+        return NUMERIC_MARKER
+    lower, upper = bounds
+
+    def fmt(x: float) -> str:
+        return str(int(x)) if x == int(x) else f"{x:.6g}"
+
+    return f"({fmt(lower)}, {fmt(upper)}]"
+
+
+@dataclass
+class ParsedSpan:
+    """A span split into its pattern id and variable parameters."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    node: str
+    start_time: float
+    pattern_id: str
+    params: dict[str, ParamValue] = field(default_factory=dict)
+
+    def params_record(self) -> dict[str, Any]:
+        """The variability record buffered / uploaded for this span."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "pattern_id": self.pattern_id,
+            "start_time": self.start_time,
+            "params": self.params,
+        }
+
+    def compact_record(self, pattern: SpanPattern) -> list[Any]:
+        """Positional wire format for parameter uploads.
+
+        ``[span_id, parent_id, node, pattern_id, start_time, values]``
+        with ``values`` ordered by the pattern's attribute tuple — the
+        pattern already names every key, so repeating key strings per
+        span would waste the bytes the whole design is saving.
+        """
+        values = [self.params[key] for key, _, _ in pattern.attributes]
+        return [
+            self.span_id,
+            self.parent_id,
+            self.node,
+            self.pattern_id,
+            round(self.start_time, 6),
+            values,
+        ]
+
+    @classmethod
+    def from_compact_record(
+        cls, trace_id: str, record: list[Any], pattern: SpanPattern
+    ) -> "ParsedSpan":
+        """Inverse of :meth:`compact_record`."""
+        span_id, parent_id, node, pattern_id, start_time, values = record
+        params = {
+            key: values[i] for i, (key, _, _) in enumerate(pattern.attributes)
+        }
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            node=node,
+            start_time=start_time,
+            pattern_id=pattern_id,
+            params=params,
+        )
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "ParsedSpan":
+        """Rebuild a parsed span from a :meth:`params_record` dict."""
+        return cls(
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            node=record.get("node", "node-0"),
+            start_time=record.get("start_time", 0.0),
+            pattern_id=record["pattern_id"],
+            params=dict(record.get("params", {})),
+        )
+
+    def params_size_bytes(self) -> int:
+        """Bytes this span contributes to the Params Buffer."""
+        return encoded_size(self.params_record())
+
+
+class SpanPatternLibrary:
+    """The agent-side Pattern Library for span patterns.
+
+    Besides the patterns themselves, the library tracks the observed
+    exponential-bucket range of every numeric attribute per pattern —
+    the data behind the bucket-mapped numeric display in approximate
+    traces (paper Fig. 10).
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        self._patterns: dict[str, SpanPattern] = {}
+        self._match_counts: dict[str, int] = {}
+        self._bucketer = NumericBucketer(alpha=alpha)
+        self._numeric_ranges: dict[str, dict[str, tuple[float, float]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __contains__(self, pattern_id: str) -> bool:
+        return pattern_id in self._patterns
+
+    def register(self, pattern: SpanPattern) -> str:
+        """Add (or re-find) ``pattern``; returns its id and bumps the
+        match counter either way."""
+        pattern_id = pattern.pattern_id
+        if pattern_id not in self._patterns:
+            self._patterns[pattern_id] = pattern
+        self._match_counts[pattern_id] = self._match_counts.get(pattern_id, 0) + 1
+        return pattern_id
+
+    def get(self, pattern_id: str) -> SpanPattern:
+        """Pattern by id; raises KeyError when unknown."""
+        return self._patterns[pattern_id]
+
+    def match_count(self, pattern_id: str) -> int:
+        """How many spans matched this pattern so far."""
+        return self._match_counts.get(pattern_id, 0)
+
+    def observe_numeric(self, pattern_id: str, key: str, value: float) -> None:
+        """Fold ``value``'s bucket into the pattern's observed range."""
+        bucket = self._bucketer.bucket_of(value)
+        lower = -bucket.upper if bucket.negative else bucket.lower
+        upper = -bucket.lower if bucket.negative else bucket.upper
+        ranges = self._numeric_ranges.setdefault(pattern_id, {})
+        current = ranges.get(key)
+        if current is None:
+            ranges[key] = (lower, upper)
+        else:
+            ranges[key] = (min(current[0], lower), max(current[1], upper))
+
+    def numeric_ranges(self, pattern_id: str) -> dict[str, tuple[float, float]]:
+        """Observed (lower, upper] bucket envelope per numeric key."""
+        return dict(self._numeric_ranges.get(pattern_id, {}))
+
+    def pattern_dict(self, pattern_id: str) -> dict[str, Any]:
+        """Serialisable pattern including its current numeric ranges."""
+        data = self._patterns[pattern_id].to_dict()
+        ranges = self._numeric_ranges.get(pattern_id)
+        if ranges:
+            data["numeric_ranges"] = {k: list(v) for k, v in sorted(ranges.items())}
+        return data
+
+    def patterns(self) -> list[SpanPattern]:
+        """All patterns in insertion order."""
+        return list(self._patterns.values())
+
+    def size_bytes(self) -> int:
+        """Upload size of the whole library."""
+        return encoded_size([self.pattern_dict(pid) for pid in self._patterns])
+
+
+class SpanParser:
+    """Parses raw spans into span patterns plus parameters."""
+
+    def __init__(
+        self,
+        similarity_threshold: float = 0.8,
+        alpha: float = 0.5,
+        scope_by_operation: bool = True,
+    ) -> None:
+        """``scope_by_operation`` trains one parser per (service,
+        operation, key); disabling it trains one parser per key across
+        all operations, which is what makes the similarity threshold a
+        live tradeoff (paper Fig. 16): loose thresholds then merge
+        values from different operations into wildcard-heavy templates
+        whose parameters carry the bytes."""
+        self.similarity_threshold = similarity_threshold
+        self.alpha = alpha
+        self.scope_by_operation = scope_by_operation
+        self.library = SpanPatternLibrary(alpha=alpha)
+        self._string_parsers: dict[str, StringAttributeParser] = {}
+        self._numeric_parsers: dict[str, NumericAttributeParser] = {}
+
+    # ------------------------------------------------------------------
+    # Offline stage (paper Section 3.2.1)
+    # ------------------------------------------------------------------
+    def warm_up(self, spans: Iterable[Span]) -> None:
+        """Build per-attribute parsers from a sample of raw spans.
+
+        Parsers are scoped per (service, operation, attribute key):
+        values of the same key from different operations share skeleton
+        shape but differ in operation-specific constants, and clustering
+        them together would fragment templates into wildcard confetti
+        that stores those constants as parameters on every span.
+        """
+        string_values: dict[str, list[str]] = {}
+        warmup_spans = list(spans)
+        for span in warmup_spans:
+            for key, value in span.string_attributes().items():
+                scope = self._scope(span, key)
+                string_values.setdefault(scope, []).append(value)
+        for scope, values in string_values.items():
+            parser = self._string_parser(scope)
+            parser.warm_up(values)
+        # Register the span patterns of the warm-up sample so the library
+        # starts populated (mitigates the cold-start issue the paper notes).
+        for span in warmup_spans:
+            self.parse(span)
+
+    # ------------------------------------------------------------------
+    # Online stage (paper Section 3.2.2)
+    # ------------------------------------------------------------------
+    def parse(self, span: Span, observe_ranges: bool = True) -> ParsedSpan:
+        """Hierarchical Attribute Parsing of one raw span.
+
+        Every attribute is parsed independently (the paper runs these in
+        parallel; sequential here, same result), then the attribute
+        patterns are combined and looked up in the Pattern Library.
+
+        ``observe_ranges=False`` defers numeric-range tracking to the
+        caller (the agent withholds range updates for traces it ends up
+        sampling, so pattern ranges describe the *common* case and are
+        not widened by the very outliers whose exact values are kept).
+        """
+        entries: list[tuple[str, str, str]] = []
+        params: dict[str, ParamValue] = {}
+        numeric_values: dict[str, float] = {}
+        for key, value in sorted(span.attributes.items()):
+            if key.startswith("__"):
+                raise ValueError(f"attribute key {key!r} uses the reserved prefix")
+            if isinstance(value, str):
+                parsed = self._string_parser(self._scope(span, key)).parse(value)
+                entries.append((key, parsed.kind, parsed.pattern))
+                params[key] = parsed.param
+            elif isinstance(value, bool):
+                parsed = self._string_parser(self._scope(span, key)).parse(str(value))
+                entries.append((key, parsed.kind, parsed.pattern))
+                params[key] = parsed.param
+            else:
+                entries.append((key, "numeric", NUMERIC_MARKER))
+                params[key] = float(value)
+                numeric_values[key] = float(value)
+        entries.append((DURATION_KEY, "numeric", NUMERIC_MARKER))
+        params[DURATION_KEY] = span.duration
+        numeric_values[DURATION_KEY] = span.duration
+        pattern = SpanPattern(
+            name=span.name,
+            service=span.service,
+            kind=span.kind.value,
+            status=span.status.value,
+            attributes=tuple(sorted(entries)),
+        )
+        pattern_id = self.library.register(pattern)
+        if observe_ranges:
+            for key, value in numeric_values.items():
+                self.library.observe_numeric(pattern_id, key, value)
+        return ParsedSpan(
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            node=span.node,
+            start_time=span.start_time,
+            pattern_id=pattern_id,
+            params=params,
+        )
+
+    def _scope(self, span: Span, key: str) -> str:
+        """Parser scope: per (service, operation, key) by default."""
+        if self.scope_by_operation:
+            return f"{span.service}|{span.name}|{key}"
+        return key
+
+    def _string_parser(self, key: str) -> StringAttributeParser:
+        parser = self._string_parsers.get(key)
+        if parser is None:
+            parser = StringAttributeParser(key, self.similarity_threshold)
+            self._string_parsers[key] = parser
+        return parser
+
+    def _numeric_parser(self, key: str) -> NumericAttributeParser:
+        parser = self._numeric_parsers.get(key)
+        if parser is None:
+            parser = NumericAttributeParser(key, alpha=self.alpha)
+            self._numeric_parsers[key] = parser
+        return parser
+
+
+# ----------------------------------------------------------------------
+# Reconstruction helpers (backend side, stateless)
+# ----------------------------------------------------------------------
+def reconstruct_exact_span(pattern: SpanPattern, parsed: ParsedSpan) -> Span:
+    """Rebuild the original span from its pattern and parameters.
+
+    Inverse of :meth:`SpanParser.parse`: operates on pattern text alone
+    so the backend does not need parser state.
+    """
+    attributes: dict[str, Any] = {}
+    duration = 0.0
+    for key, kind, pattern_text in pattern.attributes:
+        param = parsed.params[key]
+        if kind == "string":
+            template = template_from_text(pattern_text)
+            if not isinstance(param, list):
+                raise TypeError(f"string attribute {key!r} carries {type(param)}")
+            value: Any = template.reconstruct(param)
+        else:
+            if isinstance(param, list):
+                raise TypeError(f"numeric attribute {key!r} carries a list")
+            value = float(param)
+        if key == DURATION_KEY:
+            duration = float(value)
+        else:
+            attributes[key] = value
+    return Span(
+        trace_id=parsed.trace_id,
+        span_id=parsed.span_id,
+        parent_id=parsed.parent_id,
+        name=pattern.name,
+        service=pattern.service,
+        kind=SpanKind(pattern.kind),
+        start_time=parsed.start_time,
+        duration=duration,
+        status=SpanStatus(pattern.status),
+        node=parsed.node,
+        attributes=attributes,
+    )
+
+
+def approximate_span_view(
+    pattern: SpanPattern,
+    numeric_ranges: dict[str, tuple[float, float]] | None = None,
+) -> dict[str, Any]:
+    """The masked span view returned for unsampled traces (paper Fig. 10).
+
+    String variables appear as ``<*>``; numeric values appear as their
+    observed bucket interval when ranges were reported with the pattern.
+    """
+    return {
+        "name": pattern.name,
+        "service": pattern.service,
+        "kind": pattern.kind,
+        "status": pattern.status,
+        "duration": pattern.duration_pattern(numeric_ranges),
+        "attributes": pattern.masked_attributes(numeric_ranges),
+    }

@@ -1,0 +1,221 @@
+"""String templates: the common patterns extracted from value clusters.
+
+Paper Section 3.2.1: *"For each cluster C_i, we extract the shortest
+regular expression that can represent all strings in the cluster, which
+serves as the pattern P_i for that cluster."*
+
+A :class:`StringTemplate` is a token sequence where variable positions
+are the wildcard ``<*>``.  It compiles to an anchored regular expression
+(wildcards become lazy groups), supports parameter extraction and exact
+reconstruction: ``template.reconstruct(template.extract(v)) == v`` for
+any matching ``v``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.parsing.clustering import StringCluster
+from repro.parsing.lcs import lcs_tokens
+from repro.parsing.tokenizer import detokenize
+
+WILDCARD = "<*>"
+
+
+@dataclass(frozen=True)
+class StringTemplate:
+    """An immutable template of literal tokens and ``<*>`` wildcards."""
+
+    tokens: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        # Collapse runs of consecutive wildcards: `<*><*>` matches the
+        # same language as `<*>` but would create ambiguous parameter
+        # splits during extraction.
+        collapsed: list[str] = []
+        for token in self.tokens:
+            if token == WILDCARD and collapsed and collapsed[-1] == WILDCARD:
+                continue
+            collapsed.append(token)
+        object.__setattr__(self, "tokens", tuple(collapsed))
+        object.__setattr__(self, "_regex", self._compile())
+
+    def _compile(self) -> re.Pattern[str]:
+        parts: list[str] = ["^"]
+        literal_run: list[str] = []
+        for token in self.tokens:
+            if token == WILDCARD:
+                if literal_run:
+                    parts.append(re.escape(detokenize(literal_run)))
+                    literal_run = []
+                parts.append("(.*?)")
+            else:
+                literal_run.append(token)
+        if literal_run:
+            parts.append(re.escape(detokenize(literal_run)))
+        parts.append("$")
+        return re.compile("".join(parts), re.DOTALL)
+
+    @property
+    def text(self) -> str:
+        """Human-readable template string, e.g. ``select * from <*>``."""
+        return detokenize(list(self.tokens))
+
+    @property
+    def wildcard_count(self) -> int:
+        """Number of variable positions."""
+        return sum(1 for t in self.tokens if t == WILDCARD)
+
+    @property
+    def literal_token_count(self) -> int:
+        """Number of literal (non-wildcard) tokens — a specificity score."""
+        return len(self.tokens) - self.wildcard_count
+
+    def matches(self, value: str) -> bool:
+        """True when ``value`` is in the language of this template."""
+        return self._regex.match(value) is not None
+
+    def extract(self, value: str) -> list[str] | None:
+        """Extract the wildcard parameters from ``value``.
+
+        Returns one string per wildcard (possibly empty strings), or
+        ``None`` when the value does not match the template.
+        """
+        match = self._regex.match(value)
+        if match is None:
+            return None
+        return list(match.groups())
+
+    def reconstruct(self, params: Sequence[str]) -> str:
+        """Substitute ``params`` back into the wildcards.
+
+        The inverse of :func:`extract`: for a matching value ``v``,
+        ``reconstruct(extract(v)) == v``.
+        """
+        if len(params) != self.wildcard_count:
+            raise ValueError(
+                f"template has {self.wildcard_count} wildcards, "
+                f"got {len(params)} parameters"
+            )
+        out: list[str] = []
+        param_iter = iter(params)
+        for token in self.tokens:
+            if token == WILDCARD:
+                out.append(next(param_iter))
+            else:
+                out.append(token)
+        return "".join(out)
+
+    def masked(self) -> str:
+        """The approximate-trace rendering: wildcards shown as ``<*>``."""
+        return self.text
+
+
+def template_from_text(text: str) -> StringTemplate:
+    """Rebuild a template from its rendered text.
+
+    ``<*>`` survives tokenisation when delimiter-separated; when a
+    wildcard abuts a word with no delimiter (``exec<*>``), the combined
+    token is split back apart so wildcard counts round-trip exactly.
+    """
+    from repro.parsing.tokenizer import tokenize
+
+    tokens: list[str] = []
+    for token in tokenize(text):
+        if WILDCARD in token and token != WILDCARD:
+            tokens.extend(_split_embedded_wildcards(token))
+        else:
+            tokens.append(token)
+    return StringTemplate(tokens=tuple(tokens))
+
+
+def _split_embedded_wildcards(token: str) -> list[str]:
+    """Split ``abc<*>def`` into ``['abc', '<*>', 'def']``."""
+    parts: list[str] = []
+    rest = token
+    while WILDCARD in rest:
+        before, _, rest = rest.partition(WILDCARD)
+        if before:
+            parts.append(before)
+        parts.append(WILDCARD)
+    if rest:
+        parts.append(rest)
+    return parts
+
+
+def extract_template(cluster: StringCluster) -> StringTemplate:
+    """Build the template covering every member of ``cluster``.
+
+    The common part is the fold of pairwise LCS over member token lists;
+    a wildcard is inserted at every gap position where at least one
+    member carries extra tokens.  This is the shortest template (fewest
+    wildcards over the maximal common subsequence) representable in our
+    template language that matches all members.
+    """
+    if not cluster.member_tokens:
+        raise ValueError("cannot extract a template from an empty cluster")
+    # The common part converges after a handful of members; folding the
+    # LCS over every member of a large cluster is O(members * n^2) for
+    # no additional precision.  A stratified sample (first, last, and a
+    # spread in between) is folded instead, and the full membership is
+    # still used for gap detection and the final match check below.
+    sample = _member_sample(cluster.member_tokens, limit=12)
+    common: list[str] = list(sample[0])
+    for tokens in sample[1:]:
+        common = lcs_tokens(common, tokens)
+        if not common:
+            break
+    gap_has_variance = [False] * (len(common) + 1)
+    for tokens in cluster.member_tokens:
+        for gap_index, gap_len in _gap_lengths(common, tokens):
+            if gap_len > 0:
+                gap_has_variance[gap_index] = True
+    template_tokens: list[str] = []
+    for index, token in enumerate(common):
+        if gap_has_variance[index]:
+            template_tokens.append(WILDCARD)
+        template_tokens.append(token)
+    if gap_has_variance[len(common)]:
+        template_tokens.append(WILDCARD)
+    if not template_tokens:
+        template_tokens = [WILDCARD]
+    template = StringTemplate(tokens=tuple(template_tokens))
+    # LCS alignment is not always consistent with greedy regex matching;
+    # widen any template that fails to match one of its own members.
+    for member in cluster.members:
+        if not template.matches(member):
+            return StringTemplate(tokens=(WILDCARD,))
+    return template
+
+
+def _member_sample(members: list[list[str]], limit: int) -> list[list[str]]:
+    """A deterministic spread of at most ``limit`` members."""
+    if len(members) <= limit:
+        return members
+    step = len(members) / limit
+    return [members[int(i * step)] for i in range(limit)]
+
+
+def _gap_lengths(common: list[str], tokens: list[str]) -> list[tuple[int, int]]:
+    """Token counts in each gap when aligning ``common`` inside ``tokens``.
+
+    Gap ``i`` sits before common token ``i``; gap ``len(common)`` is the
+    suffix after the last common token.  Alignment is greedy
+    left-to-right, which is consistent for subsequences produced by LCS.
+    """
+    gaps: list[tuple[int, int]] = []
+    pos = 0
+    for index, literal in enumerate(common):
+        try:
+            found = tokens.index(literal, pos)
+        except ValueError:
+            # `common` is not a subsequence under greedy alignment; treat
+            # the remainder as one variable gap.
+            gaps.append((index, len(tokens) - pos))
+            return gaps
+        gaps.append((index, found - pos))
+        pos = found + 1
+    gaps.append((len(common), len(tokens) - pos))
+    return gaps

@@ -1,0 +1,60 @@
+"""Tokenisation of string attribute values.
+
+The paper computes LCS similarity over *tokenized strings (using words
+as tokens)*.  We split on whitespace but keep common structural
+delimiters (punctuation found in SQL, URLs and code identifiers) as
+their own tokens, so that e.g. ``v1/campus/user=42`` and
+``v1/campus/user=97`` share the tokens ``v1 / campus / user =`` and
+differ only in the final parameter token.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Delimiters that separate words in SQL text, URLs, key=value pairs and
+# code identifiers.  Each delimiter becomes its own token so templates
+# keep the structure around the variable parts.  Underscore, dash and
+# dot split compound identifiers (``patch_inventory``, ``scheduling-1``)
+# so their common stems count towards LCS similarity.  ``<``, ``>`` and
+# ``*`` are deliberately NOT delimiters: the wildcard token ``<*>`` must
+# survive tokenisation intact for template round-tripping.
+_DELIMITERS = r"([\s,;=\(\)\[\]\{\}\?&/:\-_.'\"@#!|+]+)"
+
+_SPLIT_RE = re.compile(_DELIMITERS)
+_WHITESPACE_RE = re.compile(r"^\s+$")
+
+
+def tokenize(value: str) -> list[str]:
+    """Split ``value`` into word and delimiter tokens.
+
+    Whitespace-only fragments are normalised to a single space token so
+    that re-joining (:func:`detokenize`) produces a canonical string.
+
+    >>> tokenize("select * from A")
+    ['select', ' ', '*', ' ', 'from', ' ', 'A']
+    """
+    tokens: list[str] = []
+    for fragment in _SPLIT_RE.split(value):
+        if not fragment:
+            continue
+        if _WHITESPACE_RE.match(fragment):
+            tokens.append(" ")
+        else:
+            tokens.append(fragment)
+    return tokens
+
+
+def detokenize(tokens: list[str]) -> str:
+    """Reassemble tokens into a string (inverse of :func:`tokenize` up to
+    whitespace normalisation)."""
+    return "".join(tokens)
+
+
+def word_tokens(tokens: list[str]) -> list[str]:
+    """Filter out pure-delimiter tokens, keeping only words.
+
+    Similarity is computed over words so that heavy punctuation does not
+    dominate the LCS score.
+    """
+    return [t for t in tokens if not _SPLIT_RE.fullmatch(t)]

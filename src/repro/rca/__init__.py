@@ -1,0 +1,29 @@
+"""Trace-based root cause analysis methods (paper Table 3).
+
+Three downstream consumers of trace data, reproduced at the level the
+evaluation exercises: given the traces a tracing framework retained,
+rank the services most likely to be the root cause of an ongoing fault.
+
+All three need *normal* traces as a contrast population — which is
+exactly why '1 or 0' sampling strategies cripple them and Mint's
+keep-everything-approximately strategy helps (the paper's Table 3).
+"""
+
+from repro.rca.views import SpanView, TraceView, views_from_traces, view_from_approximate
+from repro.rca.spectrum import SpectrumCounts, ochiai, anomalous_spans
+from repro.rca.microrank import MicroRank
+from repro.rca.tracerca import TraceRCA
+from repro.rca.traceanomaly import TraceAnomaly
+
+__all__ = [
+    "SpanView",
+    "TraceView",
+    "views_from_traces",
+    "view_from_approximate",
+    "SpectrumCounts",
+    "ochiai",
+    "anomalous_spans",
+    "MicroRank",
+    "TraceRCA",
+    "TraceAnomaly",
+]

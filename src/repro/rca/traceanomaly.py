@@ -1,0 +1,63 @@
+"""TraceAnomaly (Liu et al., ISSRE 2020): deviation from normal templates.
+
+The original learns a deep Bayesian model of normal traces and locates
+root causes by comparing an anomalous trace against its nearest normal
+template.  The part the paper's experiment exercises — build normal
+templates, find the service deviating most — is reproduced here with
+per-(service, operation) statistical templates: enough to show the same
+dependence on having normal traces to learn from.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.rca.spectrum import duration_baselines
+from repro.rca.views import TraceView
+
+
+class TraceAnomaly:
+    """Normal-template deviation scoring."""
+
+    name = "TraceAnomaly"
+
+    def __init__(self, z_threshold: float = 4.0, error_weight: float = 5.0) -> None:
+        self.z_threshold = z_threshold
+        self.error_weight = error_weight
+
+    def rank(self, views: list[TraceView]) -> list[tuple[str, float]]:
+        """Services ranked by aggregate deviation from normal templates."""
+        if not views:
+            return []
+        baselines = duration_baselines(views)
+        abnormal = [v for v in views if v.is_abnormal]
+        if not abnormal:
+            # Without labels, treat the largest-deviation traces as
+            # anomalous (unsupervised mode).
+            abnormal = views
+        deviation: dict[str, float] = defaultdict(float)
+        for view in abnormal:
+            for span in view.spans:
+                if span.kind == "client":
+                    continue
+                score = 0.0
+                if span.is_error:
+                    score += self.error_weight
+                baseline = baselines.get((view.source, span.service, span.operation))
+                if baseline is not None:
+                    mean, std = baseline
+                    floor = max(std, 0.1 * mean, 1e-6)
+                    z = (span.self_duration - mean) / floor
+                    if z > self.z_threshold:
+                        score += min(z, 50.0)
+                if score > 0:
+                    deviation[span.service] += score
+        if not deviation:
+            return []
+        scored = sorted(deviation.items(), key=lambda item: (-item[1], item[0]))
+        return scored
+
+    def top1(self, views: list[TraceView]) -> str | None:
+        """The most deviant service, or None without data."""
+        ranked = self.rank(views)
+        return ranked[0][0] if ranked else None

@@ -1,0 +1,75 @@
+"""TraceRCA (Li et al., IWQoS 2021): invocation-feature mining.
+
+TraceRCA localises root causes by mining service sets whose invocations
+turn anomalous in failing traces: for each candidate service it
+combines *support* (how much of the anomalous traffic shows the service
+misbehaving) with *confidence* (how much more often the service
+misbehaves in abnormal traces than in normal ones).  Like MicroRank it
+degrades sharply when the normal-trace contrast set is missing.
+"""
+
+from __future__ import annotations
+
+from repro.rca.spectrum import anomalous_spans, duration_baselines
+from repro.rca.views import TraceView
+
+
+class TraceRCA:
+    """Support x confidence mining over anomalous invocations."""
+
+    name = "TraceRCA"
+
+    def __init__(self, z_threshold: float = 4.0) -> None:
+        self.z_threshold = z_threshold
+
+    def rank(self, views: list[TraceView]) -> list[tuple[str, float]]:
+        """Services ranked by support x confidence, highest first."""
+        if not views:
+            return []
+        baselines = duration_baselines(views)
+        abnormal_views = []
+        normal_views = []
+        for view in views:
+            anomalous = anomalous_spans(view, baselines, self.z_threshold)
+            if view.is_abnormal or anomalous:
+                abnormal_views.append((view, {s.service for s in anomalous}))
+            else:
+                normal_views.append(view)
+        if not abnormal_views:
+            return []
+        services = {s for view in views for s in view.services}
+        scored: list[tuple[str, float]] = []
+        n_abnormal = len(abnormal_views)
+        n_normal = max(1, len(normal_views))
+        for service in services:
+            # Support: fraction of abnormal traces where this service's
+            # own invocations were anomalous.
+            misbehaving = sum(
+                1 for _, bad in abnormal_views if service in bad
+            )
+            support = misbehaving / n_abnormal
+            # Confidence: anomalous-in-abnormal rate against the rate of
+            # simply appearing in normal traffic (popular-but-healthy
+            # services score low).
+            present_abnormal = sum(
+                1 for view, _ in abnormal_views if service in view.services
+            )
+            present_normal = sum(
+                1 for view in normal_views if service in view.services
+            )
+            if present_abnormal == 0:
+                confidence = 0.0
+            else:
+                misbehave_rate = misbehaving / present_abnormal
+                healthy_presence = present_normal / n_normal
+                confidence = misbehave_rate * (1.0 + (1.0 - healthy_presence))
+            scored.append((service, support * confidence))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored
+
+    def top1(self, views: list[TraceView]) -> str | None:
+        """The most suspicious service, or None without data."""
+        ranked = self.rank(views)
+        if not ranked or ranked[0][1] <= 0:
+            return None
+        return ranked[0][0]

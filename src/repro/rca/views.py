@@ -1,0 +1,140 @@
+"""Uniform trace views for RCA, from exact or approximate traces.
+
+RCA methods should not care which tracing framework produced their
+input.  A :class:`TraceView` carries the per-span facts the three
+methods consume: service, operation, duration, *self time* (duration
+minus children — the signal that localises a fault to the service that
+actually burned the time instead of its whole ancestor chain), and the
+error flag.  Exact traces map directly; Mint's approximate traces map
+through the pattern view (status from the pattern, durations as
+bucket-range midpoints, children resolved from segment tree depths).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.backend.querier import ApproximateTrace
+from repro.model.span import SpanKind, SpanStatus
+from repro.model.trace import Trace
+
+
+@dataclass(frozen=True)
+class SpanView:
+    """The slice of a span RCA methods look at."""
+
+    service: str
+    operation: str
+    duration: float
+    self_duration: float
+    is_error: bool
+    kind: str = "server"
+
+
+@dataclass
+class TraceView:
+    """One trace as seen by an RCA method.
+
+    ``source`` records whether the view came from an exact trace or a
+    Mint approximate trace: durations of the two kinds live on
+    different measurement scales (raw vs bucket midpoints), so
+    statistical baselines must never mix them.
+    """
+
+    trace_id: str
+    spans: list[SpanView] = field(default_factory=list)
+    is_abnormal: bool = False
+    source: str = "exact"
+
+    @property
+    def services(self) -> set[str]:
+        """Services touched by the trace."""
+        return {span.service for span in self.spans}
+
+    @property
+    def has_error(self) -> bool:
+        """Any error span present."""
+        return any(span.is_error for span in self.spans)
+
+
+def view_from_trace(trace: Trace) -> TraceView:
+    """Build a view from an exact trace (self time from parent links)."""
+    children_sum: dict[str, float] = defaultdict(float)
+    for span in trace.spans:
+        if span.parent_id is not None:
+            children_sum[span.parent_id] += span.duration
+    spans = [
+        SpanView(
+            service=s.service,
+            operation=s.name,
+            duration=s.duration,
+            self_duration=max(0.0, s.duration - children_sum[s.span_id]),
+            is_error=s.status is SpanStatus.ERROR,
+            kind=s.kind.value,
+        )
+        for s in trace.spans
+    ]
+    abnormal = any(
+        s.attributes.get("is_abnormal") in (True, "true", 1) for s in trace.spans
+    ) or any(sv.is_error for sv in spans)
+    return TraceView(trace_id=trace.trace_id, spans=spans, is_abnormal=abnormal)
+
+
+def views_from_traces(traces: Iterable[Trace]) -> list[TraceView]:
+    """Vectorised :func:`view_from_trace`."""
+    return [view_from_trace(t) for t in traces]
+
+
+def view_from_approximate(approx: ApproximateTrace) -> TraceView:
+    """Build a view from a Mint approximate trace.
+
+    Durations come from the bucket-range midpoint of each span
+    pattern's observed duration envelope; children (for self time) are
+    recovered from the per-segment tree depths the querier renders.
+    """
+    spans: list[SpanView] = []
+    for segment in approx.segments:
+        rendered = segment.spans
+        for index, view in enumerate(rendered):
+            duration = _range_midpoint(view.get("duration"))
+            depth = view.get("depth", 0)
+            children = 0.0
+            for other in rendered[index + 1 :]:
+                other_depth = other.get("depth", 0)
+                if other_depth <= depth:
+                    break
+                if other_depth == depth + 1:
+                    children += _range_midpoint(other.get("duration"))
+            spans.append(
+                SpanView(
+                    service=view["service"],
+                    operation=view["name"],
+                    duration=duration,
+                    self_duration=max(0.0, duration - children),
+                    is_error=view.get("status") == "error",
+                    kind=view.get("kind", "server"),
+                )
+            )
+    abnormal = any(s.is_error for s in spans)
+    return TraceView(
+        trace_id=approx.trace_id,
+        spans=spans,
+        is_abnormal=abnormal,
+        source="approximate",
+    )
+
+
+def _range_midpoint(rendered: str | None) -> float:
+    """Parse ``(lower, upper]`` back to its midpoint; 0.0 when unknown."""
+    if not rendered or not rendered.startswith("(") or not rendered.endswith("]"):
+        return 0.0
+    body = rendered[1:-1]
+    try:
+        lower_s, upper_s = body.split(",")
+        lower = float(lower_s)
+        upper = float(upper_s)
+    except ValueError:
+        return 0.0
+    return (lower + upper) / 2.0

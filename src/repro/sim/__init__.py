@@ -1,0 +1,13 @@
+"""Deployment simulation: clocks, meters, clusters and experiments.
+
+The paper's evaluation runs on Kubernetes clusters and Alibaba
+production hosts; this package substitutes an in-process simulation
+that reproduces the *measured quantities* — bytes on the wire, bytes on
+disk, query outcomes, and relative compute cost — for every tracing
+framework under identical workloads.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.meters import Meter, OverheadLedger
+
+__all__ = ["SimClock", "Meter", "OverheadLedger"]

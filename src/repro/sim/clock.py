@@ -1,0 +1,28 @@
+"""A simulated clock for deterministic experiments."""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (no-op when already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now

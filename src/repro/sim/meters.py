@@ -1,0 +1,71 @@
+"""Byte meters: the instruments behind every overhead number.
+
+A :class:`Meter` accumulates (timestamp, bytes) events and can render
+them as totals or per-minute series — exactly the MB/min panels of the
+paper's Fig. 11 and Fig. 14.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class Meter:
+    """Accumulates byte counts over simulated time."""
+
+    def __init__(self, name: str = "meter") -> None:
+        self.name = name
+        self._total = 0
+        self._events = 0
+        self._buckets: dict[int, int] = defaultdict(int)
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes recorded so far."""
+        return self._total
+
+    @property
+    def event_count(self) -> int:
+        """Number of record calls."""
+        return self._events
+
+    def record(self, nbytes: int, now: float = 0.0) -> None:
+        """Charge ``nbytes`` at simulated time ``now``."""
+        if nbytes < 0:
+            raise ValueError("cannot record negative bytes")
+        self._total += nbytes
+        self._events += 1
+        self._buckets[int(now // 60)] += nbytes
+
+    def per_minute_series(self) -> list[tuple[int, int]]:
+        """(minute index, bytes) pairs, sorted by minute."""
+        return sorted(self._buckets.items())
+
+    def mb_per_minute(self) -> float:
+        """Average MB/min over the active minutes."""
+        if not self._buckets:
+            return 0.0
+        minutes = max(self._buckets) - min(self._buckets) + 1
+        return self._total / (1024 * 1024) / minutes
+
+    def reset(self) -> None:
+        """Zero the meter."""
+        self._total = 0
+        self._events = 0
+        self._buckets.clear()
+
+
+@dataclass
+class OverheadLedger:
+    """The pair of meters every tracing framework is evaluated with."""
+
+    network: Meter = field(default_factory=lambda: Meter("network"))
+    storage: Meter = field(default_factory=lambda: Meter("storage"))
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot for reporting."""
+        return {
+            "network_bytes": self.network.total_bytes,
+            "storage_bytes": self.storage.total_bytes,
+        }

@@ -1,0 +1,48 @@
+"""Workload generators standing in for the paper's benchmark systems.
+
+Provides OnlineBoutique (10 services), TrainTicket (45 services), the
+six Alibaba datasets A–F of Fig. 13, and the five sub-services of
+Table 5 — all as synthetic trace generators whose attribute values have
+the commonality/variability structure the paper measures in real
+production traces.
+"""
+
+from repro.workloads.specs import (
+    ApiSpec,
+    CallSpec,
+    NumericAttributeSpec,
+    StringAttributeSpec,
+    Workload,
+)
+from repro.workloads.generator import TraceGenerator, WorkloadDriver
+from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
+from repro.workloads.onlineboutique import build_onlineboutique
+from repro.workloads.trainticket import build_trainticket
+from repro.workloads.alibaba import (
+    DATASET_SPECS,
+    SUBSERVICE_SPECS,
+    build_dataset,
+    build_subservice,
+)
+from repro.workloads.queries import QueryWorkload, TraceRecord
+
+__all__ = [
+    "ApiSpec",
+    "CallSpec",
+    "StringAttributeSpec",
+    "NumericAttributeSpec",
+    "Workload",
+    "TraceGenerator",
+    "WorkloadDriver",
+    "FaultType",
+    "FaultSpec",
+    "FaultInjector",
+    "build_onlineboutique",
+    "build_trainticket",
+    "build_dataset",
+    "build_subservice",
+    "DATASET_SPECS",
+    "SUBSERVICE_SPECS",
+    "QueryWorkload",
+    "TraceRecord",
+]

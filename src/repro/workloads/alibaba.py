@@ -1,0 +1,157 @@
+"""Alibaba-style datasets and sub-services (paper Fig. 13 and Table 5).
+
+:data:`DATASET_SPECS` mirrors Fig. 13's six datasets (API counts and
+average call depths; trace counts are scaled down by a configurable
+factor since the originals run to millions).  :data:`SUBSERVICE_SPECS`
+mirrors Table 5's five sub-services with their expected pattern-count
+magnitudes.  Both build deep chain/fan-out call trees across synthetic
+service fleets, with the attribute catalog supplying realistic values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads import attr_catalog as cat
+from repro.workloads.specs import ApiSpec, CallSpec, Workload
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters of one Fig. 13 dataset."""
+
+    name: str
+    trace_number: int  # the paper's full-size count (for documentation)
+    api_number: int
+    average_depth: int
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "A": DatasetSpec("A", 142_217, 2, 6),
+    "B": DatasetSpec("B", 842_103, 4, 11),
+    "C": DatasetSpec("C", 1_652_214, 4, 52),
+    "D": DatasetSpec("D", 256_477, 6, 15),
+    "E": DatasetSpec("E", 1_143_529, 6, 28),
+    "F": DatasetSpec("F", 1_874_583, 8, 23),
+}
+
+
+@dataclass(frozen=True)
+class SubServiceSpec:
+    """Shape parameters of one Table 5 sub-service."""
+
+    name: str
+    raw_trace_number: int
+    api_number: int  # drives the span/trace pattern counts
+
+
+SUBSERVICE_SPECS: dict[str, SubServiceSpec] = {
+    "S1": SubServiceSpec("S1", 146_985, 4),
+    "S2": SubServiceSpec("S2", 126_245, 4),
+    "S3": SubServiceSpec("S3", 93_546, 3),
+    "S4": SubServiceSpec("S4", 92_527, 2),
+    "S5": SubServiceSpec("S5", 79_179, 2),
+}
+
+
+def _tier_attributes(dataset: str, api_index: int, tier: int) -> dict:
+    """Attribute set for one tier of a call chain.
+
+    Rotating between DB, cache, MQ and RPC spans gives each dataset a
+    few distinct span shapes per API, like real middleware stacks.
+    """
+    flavor = (api_index + tier) % 4
+    base = {
+        "thread.name": cat.thread_name(f"{7000 + tier}"),
+        "app.context": cat.request_context(f"ds{dataset.lower()}-tier{tier}"),
+    }
+    entity = f"ds{dataset.lower()}_api{api_index}_tier{tier}"
+    if flavor == 0:
+        base["db.statement"] = cat.sql_select(
+            f"{entity}_records", ["record_id", "shard_key", "payload", "version"], "record_id"
+        )
+        base["db.rows"] = cat.db_rows(4.0)
+    elif flavor == 1:
+        base["cache.key"] = cat.cache_key(f"ds{dataset.lower()}", entity)
+        base["payload.bytes"] = cat.payload_bytes(512.0)
+    elif flavor == 2:
+        base["mq.topic"] = cat.mq_topic(entity)
+        base["payload.bytes"] = cat.payload_bytes(1024.0)
+    else:
+        base["rpc.method"] = cat.grpc_method("alibaba.inner", f"Tier{tier}Service", f"Handle{api_index}")
+        base["db.statement"] = cat.sql_insert(f"{entity}_audit", ["audit_id", "actor_id"])
+    return base
+
+
+def _chain(dataset: str, api_index: int, depth: int, services_per_node: int = 4) -> CallSpec:
+    """A call chain of ``depth`` tiers with occasional 2-way fan-out."""
+    def build(tier: int) -> CallSpec:
+        service = f"ds{dataset.lower()}-svc-{api_index}-{tier}"
+        children: list[CallSpec] = []
+        if tier + 1 < depth:
+            children.append(build(tier + 1))
+            # Light fan-out every 5 tiers keeps the tree realistic
+            # without exploding span counts at depth 52.
+            if tier % 5 == 2 and tier + 1 < depth - 1:
+                children.append(
+                    CallSpec(
+                        service=f"ds{dataset.lower()}-side-{api_index}-{tier}",
+                        operation=f"sidecar.audit.tier{tier}",
+                        attributes=_tier_attributes(dataset, api_index, tier + 100),
+                        own_duration_ms=1.5,
+                    )
+                )
+        return CallSpec(
+            service=service,
+            operation=f"ds{dataset}.api{api_index}.tier{tier}",
+            attributes=_tier_attributes(dataset, api_index, tier),
+            children=children,
+            own_duration_ms=2.0 + (tier % 3),
+        )
+
+    return build(0)
+
+
+def build_dataset(name: str, nodes: int = 8) -> Workload:
+    """Build the Fig. 13 dataset ``name`` ('A'..'F') as a workload."""
+    spec = DATASET_SPECS.get(name.upper())
+    if spec is None:
+        raise KeyError(f"unknown dataset {name!r}; expected one of A-F")
+    apis = []
+    for api_index in range(spec.api_number):
+        # Depth varies a little around the average so traces differ.
+        depth = max(2, spec.average_depth + (api_index % 3) - 1)
+        apis.append(
+            ApiSpec(
+                name=f"api_{api_index}",
+                weight=1.0 / (api_index + 1),  # Zipf-ish API popularity
+                root=_chain(spec.name, api_index, depth),
+            )
+        )
+    services = {s for api in apis for s in api.services()}
+    placement = {
+        svc: f"ali-node-{i % nodes}" for i, svc in enumerate(sorted(services))
+    }
+    return Workload(name=f"Dataset-{spec.name}", apis=apis, service_nodes=placement)
+
+
+def build_subservice(name: str, nodes: int = 3) -> Workload:
+    """Build the Table 5 sub-service ``name`` ('S1'..'S5') as a workload."""
+    spec = SUBSERVICE_SPECS.get(name.upper())
+    if spec is None:
+        raise KeyError(f"unknown sub-service {name!r}; expected S1-S5")
+    apis = []
+    for api_index in range(spec.api_number):
+        depth = 3 + api_index % 2
+        apis.append(
+            ApiSpec(
+                name=f"{spec.name.lower()}_api_{api_index}",
+                weight=1.0 / (api_index + 1),
+                root=_chain(spec.name, api_index, depth),
+            )
+        )
+    services = {s for api in apis for s in api.services()}
+    placement = {
+        svc: f"sub-node-{i % nodes}" for i, svc in enumerate(sorted(services))
+    }
+    return Workload(name=f"SubService-{spec.name}", apis=apis, service_nodes=placement)

@@ -1,0 +1,167 @@
+"""A catalog of realistic attribute specs shared by all workloads.
+
+Every spec keeps variable word-tokens well under the 20 % budget that
+the paper's 0.8 LCS clustering threshold implies, mirroring production
+attribute values (SQL statements, URLs, thread names) whose text is
+dominated by fixed skeleton.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.specs import (
+    NumericAttributeSpec,
+    StringAttributeSpec,
+    choice_slot,
+    float_slot,
+    hex_slot,
+    int_slot,
+)
+
+
+def sql_select(table: str, columns: list[str], key: str) -> StringAttributeSpec:
+    """A parameterised point-select, verbose like real ORM output."""
+    cols = ", ".join(f"{table}.{c} AS {table}_{c}" for c in columns)
+    return StringAttributeSpec(
+        template=(
+            f"SELECT {cols}, {table}.created_at AS {table}_created_at, "
+            f"{table}.updated_at AS {table}_updated_at, {table}.version AS "
+            f"{table}_version FROM {table} USE INDEX (idx_{table}_{key}) "
+            f"WHERE {table}.{key} = '{{}}' AND {table}.deleted = 0 AND "
+            f"{table}.tenant_region IN ('cn-hangzhou', 'cn-shanghai') "
+            "ORDER BY updated_at DESC, id DESC LIMIT 1 /* trace-injected "
+            "comment: connection pool druid, statement cached, timeout 3000ms */"
+        ),
+        slots=[hex_slot(6)],
+    )
+
+
+def sql_insert(table: str, columns: list[str]) -> StringAttributeSpec:
+    """A parameterised insert statement with two variable values."""
+    cols = ", ".join(columns)
+    return StringAttributeSpec(
+        template=(
+            f"INSERT INTO {table} ({cols}, shard_key, tenant_id, created_at, "
+            "updated_at, created_by, updated_by, is_deleted, version) VALUES "
+            "('{}', '{}', DEFAULT, DEFAULT, now(), now(), 'system', 'system', "
+            "0, 1) ON DUPLICATE KEY UPDATE updated_at = now(), version = "
+            "version + 1 /* idempotent upsert, retry-safe, binlog row format */"
+        ),
+        slots=[hex_slot(6), int_slot(1, 9999)],
+    )
+
+
+def sql_update(table: str, column: str, key: str) -> StringAttributeSpec:
+    """A parameterised update statement."""
+    return StringAttributeSpec(
+        template=(
+            f"UPDATE {table} FORCE INDEX (uk_{table}_{key}) SET {column} = "
+            "'{}', updated_at = now(), updated_by = 'system', version = "
+            f"version + 1 WHERE {key} = '{{}}' AND is_deleted = 0 AND "
+            "version >= 0 /* optimistic lock disabled, audit trail enabled */"
+        ),
+        slots=[int_slot(1, 500), hex_slot(8)],
+    )
+
+
+def http_url(*segments: str) -> StringAttributeSpec:
+    """A REST path with one trailing resource id."""
+    path = "/".join(segments)
+    return StringAttributeSpec(
+        template=f"/api/v1/{path}/{{}}/details",
+        slots=[hex_slot(6)],
+    )
+
+
+def grpc_method(package: str, service: str, method: str) -> StringAttributeSpec:
+    """A fully-qualified gRPC method — constant per operation."""
+    return StringAttributeSpec(template=f"/{package}.{service}/{method}", slots=[])
+
+
+def thread_name(pool: str) -> StringAttributeSpec:
+    """Executor thread names, e.g. ``http-nio-8080-exec-17``."""
+    return StringAttributeSpec(
+        template=f"http-nio-{pool}-exec-pool-worker-{{}}",
+        slots=[int_slot(1, 64)],
+    )
+
+
+def cache_key(namespace: str, entity: str) -> StringAttributeSpec:
+    """A structured cache key with one variable id."""
+    return StringAttributeSpec(
+        template=f"cache:{namespace}:{entity}:profile:region:primary:{{}}",
+        slots=[hex_slot(6)],
+    )
+
+
+def mq_topic(domain: str) -> StringAttributeSpec:
+    """Message-queue routing key with one variable partition."""
+    return StringAttributeSpec(
+        template=f"events.{domain}.order.lifecycle.notify.partition.{{}}",
+        slots=[int_slot(0, 15)],
+    )
+
+
+def user_agent() -> StringAttributeSpec:
+    """Browser user agents from a small fixed vocabulary."""
+    return StringAttributeSpec(
+        template="Mozilla/5.0 (platform) AppleWebKit/537.36 Chrome/{} Safari/537.36",
+        slots=[choice_slot(["120.0.0.0", "121.0.0.0", "122.0.0.0", "123.0.0.0"])],
+    )
+
+
+def currency_amount() -> StringAttributeSpec:
+    """Money amounts rendered as structured text."""
+    return StringAttributeSpec(
+        template="currency=USD units=whole amount={} cents rounded=half-even",
+        slots=[float_slot(1.0, 500.0)],
+    )
+
+
+def request_context(component: str) -> StringAttributeSpec:
+    """A verbose middleware context dump with two variable ids.
+
+    Real production spans routinely attach context blobs like this —
+    they are the bulk of per-span bytes and are almost entirely fixed
+    text, which is exactly the redundancy Mint's span parsing exploits.
+    """
+    return StringAttributeSpec(
+        template=(
+            f"component={component} runtime=jvm-17.0.9 gc=G1 heap-region=16m "
+            "rpc-framework=dubbo-3.2 serialization=hessian2 compression=none "
+            "loadbalance=least-active cluster=failover retries=2 timeout=3000 "
+            "connections=shared provider-zone=az-1 consumer-zone=az-2 "
+            "router-tags=stable,prod circuit-breaker=closed rate-limiter=token-bucket "
+            "qps-quota=5000 degrade-strategy=fallback-cache request-id={} "
+            "upstream-session={} sampled-baggage=none span-limit=128 "
+            "attr-limit=64kb event-limit=32 link-limit=8"
+        ),
+        slots=[hex_slot(8), int_slot(1, 9999)],
+    )
+
+
+def consumer_group(domain: str) -> StringAttributeSpec:
+    """Kafka-style consumer metadata with one variable member id."""
+    return StringAttributeSpec(
+        template=(
+            f"group={domain}-order-lifecycle-consumer protocol=range "
+            "session-timeout=10000 heartbeat-interval=3000 max-poll-records=500 "
+            "auto-offset-reset=latest enable-auto-commit=false isolation-level="
+            "read_committed member-id={} assignment-strategy=cooperative-sticky"
+        ),
+        slots=[hex_slot(6)],
+    )
+
+
+def payload_bytes(median: float = 2048.0) -> NumericAttributeSpec:
+    """Response payload size in bytes (whole bytes)."""
+    return NumericAttributeSpec(median=median, spread=0.6, minimum=64.0, integer=True)
+
+
+def db_rows(median: float = 8.0) -> NumericAttributeSpec:
+    """Rows touched by a query (whole rows)."""
+    return NumericAttributeSpec(median=median, spread=0.8, minimum=0.0, integer=True)
+
+
+def retry_count() -> NumericAttributeSpec:
+    """Client retry counter, almost always 0 or 1."""
+    return NumericAttributeSpec(median=0.4, spread=0.9, minimum=0.0, integer=True)

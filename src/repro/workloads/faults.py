@@ -1,0 +1,146 @@
+"""Fault injection: the Chaosblade substitute.
+
+The paper injects 56 faults of five types (Table 2) into the benchmark
+systems.  Here faults perturb generated traces deterministically: the
+target service's spans get inflated latencies, error statuses, or
+exception attributes, and the perturbation is propagated up the span
+tree as real latency/failures would be.  Each injected trace can carry
+the ``is_abnormal`` tag used by the evaluation's tail samplers.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.model.span import Span, SpanStatus
+from repro.model.trace import Trace
+
+
+class FaultType(enum.Enum):
+    """The five fault types from paper Table 2."""
+
+    CPU_EXHAUSTION = "cpu_exhaustion"
+    MEMORY_EXHAUSTION = "memory_exhaustion"
+    NETWORK_DELAY = "network_delay"
+    CODE_EXCEPTION = "code_exception"
+    ERROR_RETURN = "error_return"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: a type aimed at a service."""
+
+    fault_type: FaultType
+    target_service: str
+
+
+class FaultInjector:
+    """Applies a fault's signature to generated traces."""
+
+    def __init__(self, seed: int = 0, tag_abnormal: bool = True) -> None:
+        self._rng = random.Random(seed)
+        self.tag_abnormal = tag_abnormal
+
+    def inject(self, trace: Trace, fault: FaultSpec) -> Trace:
+        """Return a perturbed copy of ``trace``; the original is kept.
+
+        If the target service does not appear in the trace, the trace is
+        returned unchanged (the request did not touch the faulty
+        service — exactly what happens with real chaos injection).
+        """
+        targets = [s for s in trace.spans if s.service == fault.target_service]
+        if not targets:
+            return trace
+        spans = {s.span_id: s for s in trace.spans}
+        deltas: dict[str, float] = {}
+        for span in targets:
+            mutated, extra_ms = self._mutate(span, fault.fault_type)
+            spans[span.span_id] = mutated
+            if extra_ms > 0:
+                deltas[span.span_id] = extra_ms
+        # Propagate added latency to every ancestor.
+        for span_id, extra in deltas.items():
+            current = spans[span_id].parent_id
+            while current is not None and current in spans:
+                parent = spans[current]
+                spans[current] = _adjust_duration(parent, extra)
+                current = parent.parent_id
+        if self.tag_abnormal:
+            root_id = next(
+                (s.span_id for s in spans.values() if s.parent_id is None), None
+            )
+            if root_id is not None:
+                root = spans[root_id]
+                spans[root_id] = root.with_attributes({"is_abnormal": "true"})
+        ordered = sorted(spans.values(), key=lambda s: (s.start_time, s.span_id))
+        return Trace(trace_id=trace.trace_id, spans=ordered)
+
+    def _mutate(self, span: Span, fault_type: FaultType) -> tuple[Span, float]:
+        """Apply one fault signature; returns (new span, added latency ms)."""
+        if fault_type is FaultType.CPU_EXHAUSTION:
+            extra = span.duration * self._rng.uniform(4.0, 9.0)
+            return _adjust_duration(span, extra), extra
+        if fault_type is FaultType.MEMORY_EXHAUSTION:
+            extra = span.duration * self._rng.uniform(2.0, 5.0)
+            mutated = _adjust_duration(span, extra).with_attributes(
+                {
+                    "jvm.gc.pause": (
+                        "Full GC (Allocation Failure) heap usage exceeded "
+                        f"threshold after {self._rng.randint(3, 9)} collections"
+                    )
+                }
+            )
+            return mutated, extra
+        if fault_type is FaultType.NETWORK_DELAY:
+            extra = self._rng.uniform(200.0, 800.0)
+            return _adjust_duration(span, extra), extra
+        if fault_type is FaultType.CODE_EXCEPTION:
+            mutated = _set_status(span, SpanStatus.ERROR).with_attributes(
+                {
+                    "exception.message": (
+                        "java.lang.NullPointerException: exception while handling "
+                        f"request in worker thread {self._rng.randint(1, 64)}"
+                    )
+                }
+            )
+            return mutated, 0.0
+        if fault_type is FaultType.ERROR_RETURN:
+            mutated = _set_status(span, SpanStatus.ERROR).with_attributes(
+                {"http.status_code": self._rng.choice([500, 502, 503])}
+            )
+            return mutated, 0.0
+        raise ValueError(f"unknown fault type: {fault_type}")  # pragma: no cover
+
+
+def _adjust_duration(span: Span, extra_ms: float) -> Span:
+    return Span(
+        trace_id=span.trace_id,
+        span_id=span.span_id,
+        parent_id=span.parent_id,
+        name=span.name,
+        service=span.service,
+        kind=span.kind,
+        start_time=span.start_time,
+        duration=round(span.duration + extra_ms, 3),
+        status=span.status,
+        node=span.node,
+        attributes=span.attributes,
+    )
+
+
+def _set_status(span: Span, status: SpanStatus) -> Span:
+    return Span(
+        trace_id=span.trace_id,
+        span_id=span.span_id,
+        parent_id=span.parent_id,
+        name=span.name,
+        service=span.service,
+        kind=span.kind,
+        start_time=span.start_time,
+        duration=span.duration,
+        status=status,
+        node=span.node,
+        attributes=span.attributes,
+    )

@@ -1,0 +1,199 @@
+"""Turning workload specs into concrete traces.
+
+The generator plays the role of the instrumented application fleet:
+every request picks an API by weight and emits the full span tree, with
+client spans inserted at cross-node call edges (so sub-trace stitching
+has entry/exit operations to match, as real OpenTelemetry SDKs do).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+from repro.model.ids import IdGenerator
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import Trace
+from repro.workloads.specs import ApiSpec, CallSpec, NumericAttributeSpec, Workload
+
+
+_RESOURCE_TEMPLATE = (
+    "telemetry.sdk.name=opentelemetry telemetry.sdk.language=java "
+    "telemetry.sdk.version=1.32.0 service.name={service} "
+    "service.namespace=production service.instance.id={service}-0 "
+    "deployment.environment=prod host.arch=amd64 host.name={node} "
+    "os.type=linux os.description=Ubuntu-18.04-LTS process.runtime.name="
+    "OpenJDK-Runtime-Environment process.runtime.version=17.0.9+9 "
+    "container.runtime=containerd k8s.cluster.name=serving-primary "
+    "k8s.namespace.name=apps k8s.deployment.name={service} "
+    "instrumentation.scope=io.opentelemetry.instrumentation.{service} "
+    "scope.version=2.1.0 schema.url=https://opentelemetry.io/schemas/1.24.0 "
+    "exporter=otlp-grpc endpoint=collector.observability.svc.cluster.local "
+    "batch.max.size=512 batch.timeout=5000ms compression=gzip-disabled "
+    "span.processor=batch resource.detectors=env,host,os,process,container"
+)
+
+
+class TraceGenerator:
+    """Deterministic trace factory for one workload.
+
+    Every span also carries the ``otel.resource`` attribute: the
+    OpenTelemetry resource/scope block real SDKs attach to exported
+    spans.  It is constant per (service, node) — the dominant source of
+    the commonality the paper measures in production traces.
+    """
+
+    def __init__(self, workload: Workload, seed: int = 0) -> None:
+        self.workload = workload
+        self._rng = random.Random(seed)
+        self._ids = IdGenerator(seed=seed ^ 0xA5A5)
+        self._resource_cache: dict[tuple[str, str], str] = {}
+
+    def _resource_block(self, service: str, node: str) -> str:
+        key = (service, node)
+        cached = self._resource_cache.get(key)
+        if cached is None:
+            cached = _RESOURCE_TEMPLATE.format(service=service, node=node)
+            self._resource_cache[key] = cached
+        return cached
+
+    def generate(self, api: ApiSpec, start_time: float = 0.0) -> Trace:
+        """One complete trace for ``api`` starting at ``start_time``."""
+        trace_id = self._ids.trace_id()
+        spans: list[Span] = []
+        self._emit(api.root, trace_id, None, None, start_time, spans)
+        return Trace(trace_id=trace_id, spans=spans)
+
+    def _emit(
+        self,
+        spec: CallSpec,
+        trace_id: str,
+        parent_span_id: str | None,
+        parent_node: str | None,
+        start_time: float,
+        out: list[Span],
+    ) -> float:
+        """Emit the span(s) for ``spec``; returns the subtree duration."""
+        node = self.workload.service_nodes[spec.service]
+        client_span_id: str | None = None
+        client_index: int | None = None
+        if parent_node is not None and node != parent_node:
+            # Cross-node call: the caller records a client span.
+            client_span_id = self._ids.span_id()
+            client_index = len(out)
+            out.append(
+                Span(
+                    trace_id=trace_id,
+                    span_id=client_span_id,
+                    parent_id=parent_span_id,
+                    name=spec.operation,
+                    service=_caller_service(out, parent_span_id) or spec.service,
+                    kind=SpanKind.CLIENT,
+                    start_time=start_time,
+                    duration=0.0,  # patched after the callee completes
+                    node=parent_node,
+                    attributes={
+                        "peer.service": spec.service,
+                        "otel.resource": self._resource_block(
+                            _caller_service(out, parent_span_id) or spec.service,
+                            parent_node,
+                        ),
+                    },
+                )
+            )
+        server_span_id = self._ids.span_id()
+        attributes = {
+            key: attr_spec.generate(self._rng)
+            for key, attr_spec in spec.attributes.items()
+        }
+        attributes["otel.resource"] = self._resource_block(spec.service, node)
+        own = spec.own_duration_ms * math.exp(
+            self._rng.gauss(0.0, spec.duration_spread)
+        )
+        if parent_span_id is None or node != parent_node:
+            server_kind = SpanKind.SERVER
+        else:
+            server_kind = SpanKind.INTERNAL
+        server_index = len(out)
+        out.append(
+            Span(
+                trace_id=trace_id,
+                span_id=server_span_id,
+                parent_id=client_span_id if client_span_id else parent_span_id,
+                name=spec.operation,
+                service=spec.service,
+                kind=server_kind,
+                start_time=start_time,
+                duration=0.0,  # patched below
+                node=node,
+                attributes=attributes,
+            )
+        )
+        elapsed = own / 2.0
+        children_duration = 0.0
+        for child in spec.children:
+            child_duration = self._emit(
+                child, trace_id, server_span_id, node, start_time + elapsed, out
+            )
+            elapsed += child_duration
+            children_duration += child_duration
+        total = own + children_duration
+        out[server_index] = _with_duration(out[server_index], total)
+        if client_index is not None:
+            network = 0.2 * math.exp(self._rng.gauss(0.0, 0.3))
+            out[client_index] = _with_duration(out[client_index], total + network)
+            return total + network
+        return total
+
+
+def _caller_service(spans: list[Span], parent_span_id: str | None) -> str | None:
+    if parent_span_id is None:
+        return None
+    for span in spans:
+        if span.span_id == parent_span_id:
+            return span.service
+    return None
+
+
+def _with_duration(span: Span, duration: float) -> Span:
+    return Span(
+        trace_id=span.trace_id,
+        span_id=span.span_id,
+        parent_id=span.parent_id,
+        name=span.name,
+        service=span.service,
+        kind=span.kind,
+        start_time=span.start_time,
+        duration=round(duration, 3),
+        status=span.status,
+        node=span.node,
+        attributes=span.attributes,
+    )
+
+
+class WorkloadDriver:
+    """Streams traces from a workload at a configured request rate."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        seed: int = 0,
+        requests_per_minute: float = 6000.0,
+    ) -> None:
+        if requests_per_minute <= 0:
+            raise ValueError("requests_per_minute must be positive")
+        self.workload = workload
+        self.requests_per_minute = requests_per_minute
+        self._generator = TraceGenerator(workload, seed=seed)
+        self._rng = random.Random(seed ^ 0x17)
+        self._weights = [api.weight for api in workload.apis]
+
+    def traces(self, count: int, start_time: float = 0.0) -> Iterator[tuple[float, Trace]]:
+        """Yield ``count`` (timestamp, trace) pairs at the request rate."""
+        interval = 60.0 / self.requests_per_minute
+        now = start_time
+        for _ in range(count):
+            api = self._rng.choices(self.workload.apis, weights=self._weights)[0]
+            yield now, self._generator.generate(api, start_time=now)
+            now += interval

@@ -1,0 +1,263 @@
+"""OnlineBoutique: Google's 10-microservice e-commerce demo.
+
+The service set and call structure follow the upstream demo
+(frontend, productcatalog, currency, cart, recommendation, shipping,
+checkout, payment, email, ad); the five APIs below are the demo's user
+journeys the paper's evaluation drives with load generators.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import attr_catalog as cat
+from repro.workloads.specs import ApiSpec, CallSpec, Workload
+
+SERVICES = [
+    "frontend",
+    "productcatalogservice",
+    "currencyservice",
+    "cartservice",
+    "recommendationservice",
+    "shippingservice",
+    "checkoutservice",
+    "paymentservice",
+    "emailservice",
+    "adservice",
+]
+
+
+def _placement() -> dict[str, str]:
+    # Two services per node across five nodes, mirroring a small
+    # Kubernetes deployment.
+    return {svc: f"ob-node-{i // 2}" for i, svc in enumerate(SERVICES)}
+
+
+def _catalog_get() -> CallSpec:
+    return CallSpec(
+        service="productcatalogservice",
+        operation="hipstershop.ProductCatalogService/GetProduct",
+        attributes={
+            "app.context": cat.request_context("productcatalogservice"),
+            "rpc.method": cat.grpc_method("hipstershop", "ProductCatalogService", "GetProduct"),
+            "db.statement": cat.sql_select(
+                "products", ["product_id", "name", "description", "price_usd"], "product_id"
+            ),
+            "db.rows": cat.db_rows(1.5),
+            "thread.name": cat.thread_name("3550"),
+        },
+        own_duration_ms=4.0,
+    )
+
+
+def _currency_convert() -> CallSpec:
+    return CallSpec(
+        service="currencyservice",
+        operation="hipstershop.CurrencyService/Convert",
+        attributes={
+            "rpc.method": cat.grpc_method("hipstershop", "CurrencyService", "Convert"),
+            "app.money": cat.currency_amount(),
+            "thread.name": cat.thread_name("7000"),
+        },
+        own_duration_ms=2.0,
+    )
+
+
+def _cart_get() -> CallSpec:
+    return CallSpec(
+        service="cartservice",
+        operation="hipstershop.CartService/GetCart",
+        attributes={
+            "rpc.method": cat.grpc_method("hipstershop", "CartService", "GetCart"),
+            "cache.key": cat.cache_key("boutique", "cart"),
+            "payload.bytes": cat.payload_bytes(512.0),
+        },
+        own_duration_ms=3.0,
+    )
+
+
+def _recommend() -> CallSpec:
+    return CallSpec(
+        service="recommendationservice",
+        operation="hipstershop.RecommendationService/ListRecommendations",
+        attributes={
+            "rpc.method": cat.grpc_method(
+                "hipstershop", "RecommendationService", "ListRecommendations"
+            ),
+            "payload.bytes": cat.payload_bytes(1024.0),
+        },
+        children=[_catalog_get()],
+        own_duration_ms=6.0,
+    )
+
+
+def _ad() -> CallSpec:
+    return CallSpec(
+        service="adservice",
+        operation="hipstershop.AdService/GetAds",
+        attributes={
+            "rpc.method": cat.grpc_method("hipstershop", "AdService", "GetAds"),
+            "payload.bytes": cat.payload_bytes(256.0),
+        },
+        own_duration_ms=2.5,
+    )
+
+
+def _shipping_quote() -> CallSpec:
+    return CallSpec(
+        service="shippingservice",
+        operation="hipstershop.ShippingService/GetQuote",
+        attributes={
+            "rpc.method": cat.grpc_method("hipstershop", "ShippingService", "GetQuote"),
+            "app.money": cat.currency_amount(),
+        },
+        own_duration_ms=3.0,
+    )
+
+
+def build_onlineboutique() -> Workload:
+    """The OnlineBoutique workload with its five user journeys."""
+    placement = _placement()
+
+    home = ApiSpec(
+        name="home",
+        weight=0.35,
+        root=CallSpec(
+            service="frontend",
+            operation="GET /",
+            attributes={
+                "http.url": cat.http_url("boutique", "storefront", "home"),
+                "http.user_agent": cat.user_agent(),
+                "app.context": cat.request_context("frontend"),
+                "payload.bytes": cat.payload_bytes(8192.0),
+            },
+            children=[_catalog_get(), _currency_convert(), _cart_get(), _ad()],
+            own_duration_ms=8.0,
+        ),
+    )
+
+    product = ApiSpec(
+        name="browse_product",
+        weight=0.30,
+        root=CallSpec(
+            service="frontend",
+            operation="GET /product",
+            attributes={
+                "http.url": cat.http_url("boutique", "catalog", "product"),
+                "http.user_agent": cat.user_agent(),
+            },
+            children=[
+                _catalog_get(),
+                _currency_convert(),
+                _recommend(),
+                _ad(),
+            ],
+            own_duration_ms=7.0,
+        ),
+    )
+
+    add_to_cart = ApiSpec(
+        name="add_to_cart",
+        weight=0.18,
+        root=CallSpec(
+            service="frontend",
+            operation="POST /cart",
+            attributes={
+                "http.url": cat.http_url("boutique", "cart", "items"),
+                "http.user_agent": cat.user_agent(),
+            },
+            children=[
+                _catalog_get(),
+                CallSpec(
+                    service="cartservice",
+                    operation="hipstershop.CartService/AddItem",
+                    attributes={
+                        "rpc.method": cat.grpc_method("hipstershop", "CartService", "AddItem"),
+                        "db.statement": cat.sql_insert(
+                            "cart_items", ["cart_id", "product_id"]
+                        ),
+                        "db.rows": cat.db_rows(1.0),
+                    },
+                    own_duration_ms=4.0,
+                ),
+            ],
+            own_duration_ms=6.0,
+        ),
+    )
+
+    checkout = ApiSpec(
+        name="checkout",
+        weight=0.12,
+        root=CallSpec(
+            service="frontend",
+            operation="POST /checkout",
+            attributes={
+                "http.url": cat.http_url("boutique", "checkout", "orders"),
+                "http.user_agent": cat.user_agent(),
+            },
+            children=[
+                CallSpec(
+                    service="checkoutservice",
+                    operation="hipstershop.CheckoutService/PlaceOrder",
+                    attributes={
+                        "rpc.method": cat.grpc_method(
+                            "hipstershop", "CheckoutService", "PlaceOrder"
+                        ),
+                        "db.statement": cat.sql_insert(
+                            "orders", ["order_id", "user_id"]
+                        ),
+                        "retry.count": cat.retry_count(),
+                    },
+                    children=[
+                        _cart_get(),
+                        _catalog_get(),
+                        _currency_convert(),
+                        _shipping_quote(),
+                        CallSpec(
+                            service="paymentservice",
+                            operation="hipstershop.PaymentService/Charge",
+                            attributes={
+                                "rpc.method": cat.grpc_method(
+                                    "hipstershop", "PaymentService", "Charge"
+                                ),
+                                "app.money": cat.currency_amount(),
+                            },
+                            own_duration_ms=12.0,
+                        ),
+                        CallSpec(
+                            service="emailservice",
+                            operation="hipstershop.EmailService/SendOrderConfirmation",
+                            attributes={
+                                "rpc.method": cat.grpc_method(
+                                    "hipstershop", "EmailService", "SendOrderConfirmation"
+                                ),
+                                "mq.topic": cat.mq_topic("boutique"),
+                            },
+                            own_duration_ms=9.0,
+                        ),
+                    ],
+                    own_duration_ms=10.0,
+                )
+            ],
+            own_duration_ms=8.0,
+        ),
+    )
+
+    currency_api = ApiSpec(
+        name="set_currency",
+        weight=0.05,
+        root=CallSpec(
+            service="frontend",
+            operation="POST /setCurrency",
+            attributes={
+                "http.url": cat.http_url("boutique", "session", "currency"),
+                "http.user_agent": cat.user_agent(),
+            },
+            children=[_currency_convert()],
+            own_duration_ms=3.0,
+        ),
+    )
+
+    return Workload(
+        name="OnlineBoutique",
+        apis=[home, product, add_to_cart, checkout, currency_api],
+        service_nodes=placement,
+    )

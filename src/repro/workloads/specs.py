@@ -1,0 +1,166 @@
+"""Declarative workload specifications.
+
+A :class:`Workload` is a set of weighted :class:`ApiSpec` request types
+over a service topology.  Each API is a tree of :class:`CallSpec` nodes
+— one per span — with attribute specs that generate values exhibiting
+the paper's commonality/variability structure: a fixed template
+skeleton plus a few variable slots.
+
+Template design rule: keep variable word-tokens at most ~1/6 of the
+skeleton so LCS similarity between two instances clears the paper's
+default 0.8 clustering threshold, mirroring real SQL/URL/identifier
+values which are mostly constant text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+ValueGenerator = Callable[[random.Random], str]
+
+
+@dataclass
+class StringAttributeSpec:
+    """Generates string values from a fixed template with ``{}`` slots."""
+
+    template: str
+    slots: Sequence[ValueGenerator] = ()
+
+    def generate(self, rng: random.Random) -> str:
+        """One concrete value."""
+        fills = [slot(rng) for slot in self.slots]
+        return self.template.format(*fills)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of variable positions."""
+        return len(self.slots)
+
+
+@dataclass
+class NumericAttributeSpec:
+    """Generates numeric values from a log-normal-ish distribution."""
+
+    median: float
+    spread: float = 0.4
+    minimum: float = 0.0
+    integer: bool = False
+
+    def generate(self, rng: random.Random) -> float:
+        """One concrete value, never below ``minimum``."""
+        import math
+
+        value = self.median * math.exp(rng.gauss(0.0, self.spread))
+        value = max(self.minimum, value)
+        if self.integer:
+            return float(int(round(value)))
+        return round(value, 3)
+
+
+AttributeSpec = StringAttributeSpec | NumericAttributeSpec
+
+
+@dataclass
+class CallSpec:
+    """One span-producing operation in an API's call tree."""
+
+    service: str
+    operation: str
+    attributes: dict[str, AttributeSpec] = field(default_factory=dict)
+    children: list["CallSpec"] = field(default_factory=list)
+    own_duration_ms: float = 5.0
+    duration_spread: float = 0.3
+
+    def walk(self):
+        """Yield this spec and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Height of the call tree rooted here."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+@dataclass
+class ApiSpec:
+    """One request type: a named, weighted call tree."""
+
+    name: str
+    root: CallSpec
+    weight: float = 1.0
+
+    def services(self) -> set[str]:
+        """All services this API touches."""
+        return {spec.service for spec in self.root.walk()}
+
+    def span_count(self) -> int:
+        """Server spans per request (client spans are added on top for
+        cross-node calls by the generator)."""
+        return sum(1 for _ in self.root.walk())
+
+
+@dataclass
+class Workload:
+    """A benchmark system: APIs plus the service-to-node placement."""
+
+    name: str
+    apis: list[ApiSpec]
+    service_nodes: dict[str, str]
+
+    def __post_init__(self) -> None:
+        if not self.apis:
+            raise ValueError("a workload needs at least one API")
+        missing = {
+            spec.service
+            for api in self.apis
+            for spec in api.root.walk()
+            if spec.service not in self.service_nodes
+        }
+        if missing:
+            raise ValueError(f"services without node placement: {sorted(missing)}")
+
+    @property
+    def services(self) -> set[str]:
+        """All placed services."""
+        return set(self.service_nodes)
+
+    @property
+    def nodes(self) -> set[str]:
+        """All nodes hosting at least one service."""
+        return set(self.service_nodes.values())
+
+    def api_by_name(self, name: str) -> ApiSpec:
+        """Look up an API spec; raises KeyError when absent."""
+        for api in self.apis:
+            if api.name == name:
+                return api
+        raise KeyError(name)
+
+
+# ----------------------------------------------------------------------
+# Reusable slot generators
+# ----------------------------------------------------------------------
+def int_slot(low: int, high: int) -> ValueGenerator:
+    """Uniform integer slot, rendered as decimal text."""
+    return lambda rng: str(rng.randint(low, high))
+
+
+def hex_slot(digits: int = 8) -> ValueGenerator:
+    """Random fixed-width lowercase hex slot (ids, tokens)."""
+    return lambda rng: f"{rng.getrandbits(digits * 4):0{digits}x}"
+
+
+def choice_slot(options: Sequence[str]) -> ValueGenerator:
+    """Categorical slot drawn from a small fixed vocabulary."""
+    opts = list(options)
+    return lambda rng: rng.choice(opts)
+
+
+def float_slot(low: float, high: float, ndigits: int = 2) -> ValueGenerator:
+    """Uniform float slot rendered with fixed precision."""
+    return lambda rng: f"{rng.uniform(low, high):.{ndigits}f}"

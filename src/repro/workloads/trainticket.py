@@ -1,0 +1,346 @@
+"""TrainTicket: the 45-service railway ticketing benchmark.
+
+The service list follows FudanSELab's train-ticket; the eight APIs
+below model its main user journeys (query trips, book tickets, pay,
+consign, cancel, admin queries) as REST call chains that fan out across
+the fleet, matching the deeper topologies the paper reports for TT.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import attr_catalog as cat
+from repro.workloads.specs import ApiSpec, CallSpec, Workload
+
+SERVICES = [
+    "ts-ui-dashboard",
+    "ts-auth-service",
+    "ts-user-service",
+    "ts-verification-code-service",
+    "ts-station-service",
+    "ts-train-service",
+    "ts-config-service",
+    "ts-security-service",
+    "ts-contacts-service",
+    "ts-order-service",
+    "ts-order-other-service",
+    "ts-preserve-service",
+    "ts-preserve-other-service",
+    "ts-basic-service",
+    "ts-ticketinfo-service",
+    "ts-price-service",
+    "ts-notification-service",
+    "ts-inside-payment-service",
+    "ts-payment-service",
+    "ts-execute-service",
+    "ts-seat-service",
+    "ts-travel-service",
+    "ts-travel2-service",
+    "ts-route-service",
+    "ts-route-plan-service",
+    "ts-travel-plan-service",
+    "ts-rebook-service",
+    "ts-cancel-service",
+    "ts-assurance-service",
+    "ts-food-service",
+    "ts-food-map-service",
+    "ts-consign-service",
+    "ts-consign-price-service",
+    "ts-admin-basic-info-service",
+    "ts-admin-order-service",
+    "ts-admin-route-service",
+    "ts-admin-travel-service",
+    "ts-admin-user-service",
+    "ts-avatar-service",
+    "ts-news-service",
+    "ts-ticket-office-service",
+    "ts-voucher-service",
+    "ts-gateway-service",
+    "ts-delivery-service",
+    "ts-wait-order-service",
+]
+
+assert len(SERVICES) == 45
+
+
+def _placement() -> dict[str, str]:
+    # ~4 services per node across 12 VMs, as in the paper's deployment.
+    return {svc: f"tt-node-{i % 12}" for i, svc in enumerate(SERVICES)}
+
+
+def _rest(service: str, op: str, *, sql_table: str | None = None,
+          children: list[CallSpec] | None = None, ms: float = 4.0) -> CallSpec:
+    """A REST handler span with a standard attribute set."""
+    attributes = {
+        "http.url": cat.http_url("trainticket", service.removeprefix("ts-").removesuffix("-service"), op),
+        "thread.name": cat.thread_name("8080"),
+        "app.context": cat.request_context(service),
+    }
+    if sql_table is not None:
+        attributes["db.statement"] = cat.sql_select(
+            sql_table, ["id", "status", "payload", "version"], "id"
+        )
+        attributes["db.rows"] = cat.db_rows(3.0)
+    return CallSpec(
+        service=service,
+        operation=f"{op}",
+        attributes=attributes,
+        children=children or [],
+        own_duration_ms=ms,
+    )
+
+
+def _auth_chain() -> CallSpec:
+    return _rest(
+        "ts-auth-service",
+        "POST /auth/login",
+        sql_table="auth_users",
+        children=[
+            _rest("ts-user-service", "GET /users/byId", sql_table="users"),
+            _rest("ts-verification-code-service", "POST /verify/code", ms=2.0),
+        ],
+    )
+
+
+def _basic_info() -> CallSpec:
+    return _rest(
+        "ts-basic-service",
+        "POST /basic/travel",
+        children=[
+            _rest("ts-station-service", "GET /stations/idList", sql_table="stations"),
+            _rest("ts-train-service", "GET /trains/byName", sql_table="trains"),
+            _rest("ts-route-service", "GET /routes/byId", sql_table="routes"),
+            _rest("ts-price-service", "GET /prices/byRouteAndTrain", sql_table="prices"),
+        ],
+        ms=5.0,
+    )
+
+
+def _seat() -> CallSpec:
+    return _rest(
+        "ts-seat-service",
+        "POST /seats/left",
+        children=[
+            _rest("ts-order-service", "GET /orders/leftTickets", sql_table="orders"),
+            _rest("ts-config-service", "GET /configs/byName", sql_table="configs"),
+        ],
+    )
+
+
+def _travel_query(travel: str) -> CallSpec:
+    return _rest(
+        travel,
+        "POST /travel/query",
+        sql_table="trips",
+        children=[_basic_info(), _seat(), _rest("ts-ticketinfo-service", "POST /ticketinfo/query")],
+        ms=7.0,
+    )
+
+
+def build_trainticket() -> Workload:
+    """The TrainTicket workload with eight user journeys."""
+    placement = _placement()
+
+    query_trips = ApiSpec(
+        name="query_trips",
+        weight=0.30,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /trips/left",
+            children=[
+                _rest("ts-gateway-service", "POST /gateway/route",
+                      children=[_travel_query("ts-travel-service")]),
+            ],
+            ms=6.0,
+        ),
+    )
+
+    query_advanced = ApiSpec(
+        name="query_travel_plan",
+        weight=0.12,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /travelPlan/cheapest",
+            children=[
+                _rest(
+                    "ts-travel-plan-service",
+                    "POST /travelPlan/search",
+                    children=[
+                        _rest("ts-route-plan-service", "POST /routePlan/cheapest",
+                              children=[_travel_query("ts-travel-service"),
+                                        _travel_query("ts-travel2-service")]),
+                    ],
+                    ms=6.0,
+                )
+            ],
+        ),
+    )
+
+    book = ApiSpec(
+        name="book_ticket",
+        weight=0.22,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /preserve",
+            children=[
+                _auth_chain(),
+                _rest(
+                    "ts-preserve-service",
+                    "POST /preserve/order",
+                    children=[
+                        _rest("ts-contacts-service", "GET /contacts/byAccount", sql_table="contacts"),
+                        _rest("ts-security-service", "GET /security/check", sql_table="security_rules"),
+                        _travel_query("ts-travel-service"),
+                        _rest("ts-assurance-service", "POST /assurance/create", sql_table="assurances"),
+                        _rest(
+                            "ts-food-service",
+                            "POST /food/order",
+                            sql_table="food_orders",
+                            children=[_rest("ts-food-map-service", "GET /foodmap/byTrip", sql_table="food_map")],
+                        ),
+                        _rest(
+                            "ts-order-service",
+                            "POST /orders/create",
+                            sql_table="orders",
+                            children=[_rest("ts-notification-service", "POST /notify/preserve", ms=3.0)],
+                        ),
+                    ],
+                    ms=9.0,
+                ),
+            ],
+            ms=7.0,
+        ),
+    )
+
+    pay = ApiSpec(
+        name="pay_order",
+        weight=0.14,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /payment/pay",
+            children=[
+                _rest(
+                    "ts-inside-payment-service",
+                    "POST /insidePayment/pay",
+                    sql_table="inside_payments",
+                    children=[
+                        _rest("ts-order-service", "GET /orders/byId", sql_table="orders"),
+                        _rest("ts-payment-service", "POST /payment/charge", sql_table="payments"),
+                    ],
+                    ms=8.0,
+                )
+            ],
+        ),
+    )
+
+    cancel = ApiSpec(
+        name="cancel_order",
+        weight=0.08,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /cancel/refund",
+            children=[
+                _rest(
+                    "ts-cancel-service",
+                    "POST /cancel/order",
+                    children=[
+                        _rest("ts-order-service", "PUT /orders/status", sql_table="orders"),
+                        _rest("ts-inside-payment-service", "POST /insidePayment/drawback",
+                              sql_table="inside_payments"),
+                        _rest("ts-notification-service", "POST /notify/cancel", ms=3.0),
+                    ],
+                    ms=6.0,
+                )
+            ],
+        ),
+    )
+
+    consign = ApiSpec(
+        name="consign_luggage",
+        weight=0.06,
+        root=_rest(
+            "ts-ui-dashboard",
+            "POST /consign/insert",
+            children=[
+                _rest(
+                    "ts-consign-service",
+                    "POST /consign/create",
+                    sql_table="consign_records",
+                    children=[
+                        _rest("ts-consign-price-service", "GET /consignPrice/byWeight",
+                              sql_table="consign_prices"),
+                        _rest("ts-delivery-service", "POST /delivery/schedule", sql_table="deliveries"),
+                    ],
+                ),
+            ],
+        ),
+    )
+
+    admin_orders = ApiSpec(
+        name="admin_query_orders",
+        weight=0.05,
+        root=_rest(
+            "ts-ui-dashboard",
+            "GET /admin/orders",
+            children=[
+                _rest(
+                    "ts-admin-order-service",
+                    "GET /adminorder/all",
+                    children=[
+                        _rest("ts-order-service", "GET /orders/all", sql_table="orders"),
+                        _rest("ts-order-other-service", "GET /orderOther/all", sql_table="orders_other"),
+                    ],
+                )
+            ],
+        ),
+    )
+
+    browse_news = ApiSpec(
+        name="browse_news",
+        weight=0.03,
+        root=_rest(
+            "ts-ui-dashboard",
+            "GET /news",
+            children=[
+                _rest("ts-news-service", "GET /news/list", sql_table="news"),
+                _rest("ts-avatar-service", "GET /avatar/byUser", sql_table="avatars"),
+                _rest("ts-ticket-office-service", "GET /office/list", sql_table="offices"),
+                _rest("ts-voucher-service", "GET /voucher/byOrder", sql_table="vouchers"),
+            ],
+        ),
+    )
+
+    # A rare admin path exercising otherwise-idle services, giving the
+    # edge-case sampler something to find.
+    admin_sweep = ApiSpec(
+        name="admin_sweep",
+        weight=0.004,
+        root=_rest(
+            "ts-ui-dashboard",
+            "GET /admin/sweep",
+            children=[
+                _rest("ts-admin-basic-info-service", "GET /adminbasic/all", sql_table="basic_info"),
+                _rest("ts-admin-route-service", "GET /adminroute/all", sql_table="routes"),
+                _rest("ts-admin-travel-service", "GET /admintravel/all", sql_table="trips"),
+                _rest("ts-admin-user-service", "GET /adminuser/all", sql_table="users"),
+                _rest("ts-execute-service", "POST /execute/collected", sql_table="executions"),
+                _rest("ts-rebook-service", "GET /rebook/pending", sql_table="rebooks"),
+                _rest("ts-wait-order-service", "GET /waitorder/all", sql_table="wait_orders"),
+            ],
+        ),
+    )
+
+    return Workload(
+        name="TrainTicket",
+        apis=[
+            query_trips,
+            query_advanced,
+            book,
+            pay,
+            cancel,
+            consign,
+            admin_orders,
+            browse_news,
+            admin_sweep,
+        ],
+        service_nodes=placement,
+    )

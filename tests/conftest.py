@@ -1,0 +1,82 @@
+"""Shared fixtures: small deterministic traces, workloads and streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.ids import IdGenerator
+from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.trace import Trace
+from repro.workloads.generator import WorkloadDriver
+from repro.workloads.onlineboutique import build_onlineboutique
+
+
+def make_span(
+    trace_id: str = "a" * 32,
+    span_id: str = "1" * 16,
+    parent_id: str | None = None,
+    name: str = "GET /items",
+    service: str = "catalog",
+    node: str = "node-0",
+    kind: SpanKind = SpanKind.SERVER,
+    status: SpanStatus = SpanStatus.OK,
+    start_time: float = 0.0,
+    duration: float = 10.0,
+    attributes: dict | None = None,
+) -> Span:
+    """A span with sensible defaults for unit tests."""
+    return Span(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        service=service,
+        kind=kind,
+        status=status,
+        start_time=start_time,
+        duration=duration,
+        node=node,
+        attributes=attributes or {},
+    )
+
+
+def make_chain_trace(
+    depth: int = 3,
+    trace_id: str = "b" * 32,
+    nodes: tuple[str, ...] = ("node-0",),
+    base_attrs: dict | None = None,
+) -> Trace:
+    """A linear call chain trace across the given nodes (round-robin)."""
+    ids = IdGenerator(seed=hash(trace_id) & 0xFFFF)
+    spans: list[Span] = []
+    parent: str | None = None
+    for level in range(depth):
+        span_id = ids.span_id()
+        spans.append(
+            make_span(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=parent,
+                name=f"op-{level}",
+                service=f"svc-{level}",
+                node=nodes[level % len(nodes)],
+                start_time=float(level),
+                duration=float(10 * (depth - level)),
+                attributes=dict(base_attrs or {}),
+            )
+        )
+        parent = span_id
+    return Trace(trace_id=trace_id, spans=spans)
+
+
+@pytest.fixture(scope="session")
+def boutique_workload():
+    """The OnlineBoutique workload (session-scoped; construction is pure)."""
+    return build_onlineboutique()
+
+
+@pytest.fixture(scope="session")
+def boutique_traces(boutique_workload):
+    """A small deterministic OnlineBoutique trace corpus."""
+    driver = WorkloadDriver(boutique_workload, seed=42, requests_per_minute=6000)
+    return [trace for _, trace in driver.traces(120)]

@@ -1,0 +1,91 @@
+"""Unit tests for the FIFO Params Buffer."""
+
+import pytest
+
+from repro.agent.params_buffer import ParamsBuffer
+from repro.parsing.span_parser import ParsedSpan
+
+
+def parsed(trace: str, span: str, payload: str = "x" * 50) -> ParsedSpan:
+    return ParsedSpan(
+        trace_id=trace,
+        span_id=span,
+        parent_id=None,
+        node="node-0",
+        start_time=0.0,
+        pattern_id="p" * 16,
+        params={"blob": [payload]},
+    )
+
+
+class TestBuffering:
+    def test_add_and_get(self):
+        buf = ParamsBuffer(capacity_bytes=10_000)
+        buf.add(parsed("t1", "s1"))
+        block = buf.get("t1")
+        assert block is not None
+        assert len(block.spans) == 1
+
+    def test_same_trace_grouped_into_one_block(self):
+        buf = ParamsBuffer(capacity_bytes=10_000)
+        buf.add(parsed("t1", "s1"))
+        buf.add(parsed("t1", "s2"))
+        assert len(buf) == 1
+        assert len(buf.get("t1").spans) == 2
+
+    def test_used_bytes_tracks_content(self):
+        buf = ParamsBuffer(capacity_bytes=100_000)
+        assert buf.used_bytes == 0
+        buf.add(parsed("t1", "s1"))
+        first = buf.used_bytes
+        buf.add(parsed("t2", "s2"))
+        assert buf.used_bytes > first
+
+    def test_pop_removes_and_returns(self):
+        buf = ParamsBuffer(capacity_bytes=10_000)
+        buf.add(parsed("t1", "s1"))
+        block = buf.pop("t1")
+        assert block is not None
+        assert "t1" not in buf
+        assert buf.used_bytes == 0
+        assert buf.pop("t1") is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ParamsBuffer(capacity_bytes=0)
+
+
+class TestEviction:
+    def test_fifo_eviction_of_oldest_block(self):
+        buf = ParamsBuffer(capacity_bytes=400)
+        buf.add(parsed("t1", "s1", payload="a" * 100))
+        buf.add(parsed("t2", "s2", payload="b" * 100))
+        buf.add(parsed("t3", "s3", payload="c" * 100))
+        # t1 (front of queue) must be gone first.
+        assert "t1" not in buf
+        assert buf.evicted_blocks >= 1
+        assert buf.used_bytes <= 400
+
+    def test_appending_does_not_refresh_position(self):
+        buf = ParamsBuffer(capacity_bytes=500)
+        buf.add(parsed("t1", "s1", payload="a" * 80))
+        buf.add(parsed("t2", "s2", payload="b" * 80))
+        buf.add(parsed("t1", "s3", payload="a" * 80))  # append to t1
+        buf.add(parsed("t3", "s4", payload="c" * 200))
+        # FIFO (not LRU): t1 is the oldest (appending to it did not
+        # refresh its position) and evicts first; the newest survives.
+        assert "t1" not in buf
+        assert "t3" in buf
+
+    def test_trace_ids_in_fifo_order(self):
+        buf = ParamsBuffer(capacity_bytes=100_000)
+        for i in range(5):
+            buf.add(parsed(f"t{i}", f"s{i}"))
+        assert buf.trace_ids() == [f"t{i}" for i in range(5)]
+
+    def test_evicted_bytes_accounted(self):
+        buf = ParamsBuffer(capacity_bytes=300)
+        buf.add(parsed("t1", "s1", payload="a" * 100))
+        used = buf.used_bytes
+        buf.add(parsed("t2", "s2", payload="b" * 150))
+        assert buf.evicted_bytes >= used or buf.evicted_blocks == 0

@@ -1,0 +1,75 @@
+"""Unit tests for the mounted topo library (patterns + Bloom filters)."""
+
+from repro.agent.pattern_library import FlushedBloom, MountedTopoLibrary
+from repro.model.trace import SubTrace
+from repro.parsing.span_parser import SpanParser
+from repro.parsing.trace_parser import extract_topo_pattern
+from tests.conftest import make_span
+
+
+def pattern_for(trace_id: str):
+    sub = SubTrace(
+        trace_id=trace_id, node="node-0", spans=[make_span(trace_id=trace_id)]
+    )
+    parser = SpanParser()
+    parsed = {s.span_id: parser.parse(s) for s in sub}
+    return extract_topo_pattern(sub, parsed)
+
+
+class TestMounting:
+    def test_register_and_mount(self):
+        lib = MountedTopoLibrary(node="node-0", bloom_buffer_bytes=1024)
+        pattern = pattern_for("1" * 32)
+        pattern_id = lib.register_and_mount(pattern, "1" * 32)
+        assert lib.might_contain(pattern_id, "1" * 32)
+        assert not lib.might_contain(pattern_id, "9" * 32)
+
+    def test_flush_on_full(self):
+        flushed: list[FlushedBloom] = []
+        lib = MountedTopoLibrary(
+            node="node-0", bloom_buffer_bytes=64, on_flush=flushed.append
+        )
+        pattern = pattern_for("0" * 32)
+        capacity = None
+        for i in range(200):
+            lib.register_and_mount(pattern, f"{i:032x}")
+            if flushed and capacity is None:
+                capacity = i + 1
+        assert flushed, "a 64-byte filter must fill within 200 inserts"
+        assert flushed[0].node == "node-0"
+        assert flushed[0].inserted > 0
+        assert lib.flushed_count == len(flushed)
+
+    def test_filter_reset_after_flush(self):
+        flushed: list[FlushedBloom] = []
+        lib = MountedTopoLibrary(
+            node="node-0", bloom_buffer_bytes=64, on_flush=flushed.append
+        )
+        pattern = pattern_for("0" * 32)
+        for i in range(200):
+            lib.register_and_mount(pattern, f"{i:032x}")
+        # After a flush the fresh filter must not contain early ids.
+        if flushed:
+            early = "0" * 31 + "0"
+            pattern_id = pattern.pattern_id
+            recent_only = lib.active_filters()[pattern_id]
+            assert len(recent_only) < 200
+
+    def test_drain_active_filters(self):
+        lib = MountedTopoLibrary(node="node-0", bloom_buffer_bytes=1024)
+        pattern = pattern_for("5" * 32)
+        lib.register_and_mount(pattern, "5" * 32)
+        drained = lib.drain_active_filters()
+        assert len(drained) == 1
+        assert drained[0].inserted == 1
+        # Drained filters are reset.
+        assert lib.drain_active_filters() == []
+
+    def test_shared_library_instance(self):
+        from repro.parsing.trace_parser import TopoPatternLibrary
+
+        shared = TopoPatternLibrary()
+        lib = MountedTopoLibrary(node="n", library=shared)
+        pattern = pattern_for("7" * 32)
+        lib.register_and_mount(pattern, "7" * 32)
+        assert shared.match_count(pattern.pattern_id) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for report messages and their wire-size accounting."""
+
+from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport
+from repro.model.encoding import encoded_size
+
+
+class TestPatternLibraryReport:
+    def test_empty_detection(self):
+        assert PatternLibraryReport(node="n").is_empty
+        assert not PatternLibraryReport(
+            node="n", span_patterns=[{"pattern_id": "x"}]
+        ).is_empty
+
+    def test_size_includes_patterns(self):
+        small = PatternLibraryReport(node="n")
+        big = PatternLibraryReport(
+            node="n",
+            span_patterns=[{"pattern_id": "x", "attributes": [["k", "s", "v" * 100]]}],
+        )
+        assert big.size_bytes() > small.size_bytes() + 100
+
+    def test_size_matches_canonical_encoding(self):
+        report = PatternLibraryReport(node="n", topo_patterns=[{"pattern_id": "t"}])
+        expected = encoded_size(
+            {
+                "node": "n",
+                "span_patterns": [],
+                "topo_patterns": [{"pattern_id": "t"}],
+            }
+        )
+        assert report.size_bytes() == expected
+
+
+class TestBloomReport:
+    def test_size_is_payload_plus_header(self):
+        payload = b"\x01" * 512
+        report = BloomReport(
+            node="n", topo_pattern_id="p" * 16, payload=payload, inserted=7
+        )
+        assert report.size_bytes() > 512
+        assert report.size_bytes() < 512 + 200
+
+    def test_bigger_payload_bigger_report(self):
+        a = BloomReport(node="n", topo_pattern_id="p", payload=b"x" * 64, inserted=1)
+        b = BloomReport(node="n", topo_pattern_id="p", payload=b"x" * 4096, inserted=1)
+        assert b.size_bytes() - a.size_bytes() == 4096 - 64
+
+
+class TestParamsReport:
+    def test_size_grows_with_records(self):
+        empty = ParamsReport(node="n", trace_id="t" * 32)
+        loaded = ParamsReport(
+            node="n",
+            trace_id="t" * 32,
+            records=[["s" * 16, None, "n", "p" * 16, 0.0, ["v" * 40]]],
+        )
+        assert loaded.size_bytes() > empty.size_bytes() + 40
+
+    def test_compact_records_cheaper_than_dicts(self):
+        compact = ParamsReport(
+            node="n",
+            trace_id="t" * 32,
+            records=[["s" * 16, None, "n", "p" * 16, 0.0, ["v"]]],
+        )
+        verbose_equivalent = encoded_size(
+            {
+                "node": "n",
+                "trace_id": "t" * 32,
+                "records": [
+                    {
+                        "span_id": "s" * 16,
+                        "parent_id": None,
+                        "node": "n",
+                        "pattern_id": "p" * 16,
+                        "start_time": 0.0,
+                        "params": {"key": ["v"]},
+                    }
+                ],
+            }
+        )
+        assert compact.size_bytes() < verbose_equivalent

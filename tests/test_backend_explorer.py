@@ -1,0 +1,103 @@
+"""Unit tests for the Trace Explorer (flame graphs, batch analysis)."""
+
+import pytest
+
+from repro.agent.config import MintConfig
+from repro.backend.explorer import (
+    batch_analyze,
+    flame_graph,
+    flame_graph_from_trace,
+    render_flame_graph,
+)
+from repro.baselines import MintFramework
+from repro.workloads import WorkloadDriver, build_onlineboutique
+from tests.conftest import make_chain_trace
+
+
+@pytest.fixture(scope="module")
+def mint_with_traffic():
+    mint = MintFramework(
+        config=MintConfig(edge_case_base_rate=0.0), auto_warmup_traces=10
+    )
+    driver = WorkloadDriver(build_onlineboutique(), seed=33)
+    traces = [t for _, t in driver.traces(80)]
+    for i, trace in enumerate(traces):
+        mint.process_trace(trace, float(i))
+    mint.finalize(100.0)
+    return mint, traces
+
+
+class TestFlameGraphExact:
+    def test_chain_becomes_nested_nodes(self):
+        trace = make_chain_trace(depth=3)
+        roots = flame_graph_from_trace(trace)
+        assert len(roots) == 1
+        assert roots[0].children[0].children[0].label == "op-2"
+
+    def test_durations_rendered(self):
+        trace = make_chain_trace(depth=2)
+        roots = flame_graph_from_trace(trace)
+        assert roots[0].duration_text.endswith("ms")
+
+    def test_render_text(self, mint_with_traffic):
+        mint, traces = mint_with_traffic
+        exact_id = sorted(mint.stored_trace_ids())[0]
+        text = render_flame_graph(mint.query_full(exact_id))
+        assert "[exact]" in text
+        assert "▇" in text
+        # Indentation grows with depth.
+        lines = text.splitlines()[1:]
+        assert any(line.startswith("  ") for line in lines)
+
+
+class TestFlameGraphApproximate:
+    def test_partial_trace_renders(self, mint_with_traffic):
+        mint, traces = mint_with_traffic
+        partial = next(
+            t.trace_id
+            for t in traces
+            if mint.query(t.trace_id).status == "partial"
+        )
+        result = mint.query_full(partial)
+        roots = flame_graph(result)
+        assert roots
+        text = render_flame_graph(result)
+        assert "[partial]" in text
+        # Approximate durations are bucket intervals.
+        assert "(" in text and "]" in text
+
+    def test_miss_renders_empty(self, mint_with_traffic):
+        mint, _ = mint_with_traffic
+        result = mint.query_full("e" * 32)
+        if result.status == "miss":
+            assert flame_graph(result) == []
+
+
+class TestBatchAnalysis:
+    def test_population_counts(self, mint_with_traffic):
+        mint, traces = mint_with_traffic
+        analysis = batch_analyze(mint.query_full(t.trace_id) for t in traces)
+        assert analysis.traces_seen == len(traces)
+        assert analysis.exact_traces + analysis.partial_traces == len(traces)
+        assert analysis.spans_available > len(traces)
+
+    def test_paths_aggregated(self, mint_with_traffic):
+        mint, traces = mint_with_traffic
+        analysis = batch_analyze(mint.query_full(t.trace_id) for t in traces)
+        assert analysis.top_paths
+        top_path, count = analysis.top_paths[0]
+        assert count >= 1
+        assert "frontend" in top_path
+
+    def test_duration_buckets_collected(self, mint_with_traffic):
+        mint, traces = mint_with_traffic
+        analysis = batch_analyze(mint.query_full(t.trace_id) for t in traces)
+        assert analysis.service_duration_buckets
+        some_service = next(iter(analysis.service_duration_buckets))
+        assert sum(analysis.service_duration_buckets[some_service].values()) > 0
+
+    def test_misses_skipped(self):
+        from repro.backend.querier import QueryResult
+
+        analysis = batch_analyze([QueryResult(trace_id="x", status="miss")])
+        assert analysis.traces_seen == 0

@@ -1,0 +1,78 @@
+"""Focused tests for querier internals: stitching and FP verification."""
+
+from repro.backend.querier import (
+    ApproximateSegment,
+    _drop_unconnected_false_positives,
+    _stitch_segments,
+)
+
+
+def seg(name: str, entries: list, exits: list) -> ApproximateSegment:
+    return ApproximateSegment(
+        topo_pattern_id=name,
+        nodes_reporting=["n"],
+        spans=[],
+        entry_ops=[tuple(e) for e in entries],
+        exit_ops=[tuple(x) for x in exits],
+    )
+
+
+class TestStitching:
+    def test_upstream_before_downstream(self):
+        upstream = seg("up", [("gw", "GET /")], [("backend", "do-work")])
+        downstream = seg("down", [("backend", "do-work")], [])
+        ordered = _stitch_segments([downstream, upstream])
+        assert [s.topo_pattern_id for s in ordered] == ["up", "down"]
+
+    def test_chain_of_three(self):
+        a = seg("a", [("a", "op")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [("c", "op-c")])
+        c = seg("c", [("c", "op-c")], [])
+        ordered = _stitch_segments([c, b, a])
+        assert [s.topo_pattern_id for s in ordered] == ["a", "b", "c"]
+
+    def test_unmatched_segments_kept_at_end(self):
+        a = seg("a", [("a", "op")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [])
+        island = seg("island", [("x", "op-x")], [])
+        ordered = _stitch_segments([island, b, a])
+        ids = [s.topo_pattern_id for s in ordered]
+        assert ids.index("a") < ids.index("b")
+        assert "island" in ids
+
+    def test_single_segment_untouched(self):
+        only = seg("only", [("a", "op")], [])
+        assert _stitch_segments([only]) == [only]
+
+    def test_cycle_does_not_hang(self):
+        a = seg("a", [("a", "op-a")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [("a", "op-a")])
+        ordered = _stitch_segments([a, b])
+        assert len(ordered) == 2
+
+
+class TestFalsePositiveVerification:
+    def test_disconnected_extra_dropped(self):
+        a = seg("a", [("a", "op")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [])
+        fp = seg("fp", [("zzz", "unrelated")], [])
+        kept = _drop_unconnected_false_positives([a, b, fp])
+        assert {s.topo_pattern_id for s in kept} == {"a", "b"}
+
+    def test_nothing_dropped_without_connections(self):
+        # No pair connects: cannot verify, keep everything (no-miss wins).
+        a = seg("a", [("a", "op")], [])
+        b = seg("b", [("b", "op")], [])
+        kept = _drop_unconnected_false_positives([a, b])
+        assert len(kept) == 2
+
+    def test_single_segment_kept(self):
+        only = seg("only", [("a", "op")], [])
+        assert _drop_unconnected_false_positives([only]) == [only]
+
+    def test_fully_connected_kept(self):
+        a = seg("a", [("a", "op")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [("c", "op-c")])
+        c = seg("c", [("c", "op-c")], [])
+        kept = _drop_unconnected_false_positives([a, b, c])
+        assert len(kept) == 3

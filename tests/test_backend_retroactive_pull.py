@@ -1,0 +1,68 @@
+"""Tests for query-driven retroactive parameter pulls (paper Fig. 9)."""
+
+from repro.agent.agent import MintAgent
+from repro.agent.collector import MintCollector
+from repro.agent.config import MintConfig
+from repro.backend.backend import MintBackend
+from repro.model.trace import SubTrace
+from tests.conftest import make_span
+
+
+def wire(params_buffer_bytes: int = 4 * 1024 * 1024):
+    config = MintConfig(
+        edge_case_base_rate=0.0, params_buffer_bytes=params_buffer_bytes
+    )
+    backend = MintBackend()
+    agent = MintAgent(node="node-0", config=config)
+    collector = MintCollector(agent, backend.receive, config=config)
+    backend.register_collector(collector)
+    return backend, collector
+
+
+def subtrace(trace_id: str) -> SubTrace:
+    return SubTrace(
+        trace_id=trace_id,
+        node="node-0",
+        spans=[make_span(trace_id=trace_id)],
+    )
+
+
+class TestRetroactivePull:
+    def test_partial_upgrades_to_exact_while_buffered(self):
+        backend, collector = wire()
+        for i in range(3, 9):
+            collector.process(subtrace(f"{i:032x}"), now=float(i))
+        collector.flush(now=100.0)
+        target = f"{6:032x}"
+        assert backend.query(target).status == "partial"
+        upgraded = backend.query(target, pull_params=True)
+        assert upgraded.status == "exact"
+        assert upgraded.trace is not None
+        # Subsequent plain queries stay exact (params persisted).
+        assert backend.query(target).status == "exact"
+
+    def test_pull_fails_gracefully_after_eviction(self):
+        # A tiny buffer evicts everything quickly.
+        backend, collector = wire(params_buffer_bytes=600)
+        for i in range(3, 30):
+            collector.process(subtrace(f"{i:032x}"), now=float(i))
+        collector.flush(now=100.0)
+        # Trace 10: past the always-sampled first occurrences, and long
+        # since evicted from the 600-byte buffer.
+        target = f"{10:032x}"
+        assert target not in collector.agent.params_buffer
+        result = backend.query(target, pull_params=True)
+        # The oldest trace's params were evicted: still answerable, but
+        # only approximately — the commonality part never dies.
+        assert result.status == "partial"
+
+    def test_pull_noop_for_exact_and_miss(self):
+        backend, collector = wire()
+        collector.process(subtrace("1" * 32), now=0.0)
+        backend.notify_sampled("1" * 32)
+        collector.flush(now=10.0)
+        assert backend.query("1" * 32, pull_params=True).status == "exact"
+        assert backend.query("e" * 32, pull_params=True).status in (
+            "miss",
+            "partial",
+        )

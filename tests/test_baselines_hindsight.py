@@ -1,0 +1,58 @@
+"""Unit tests for the Hindsight retroactive sampler."""
+
+from repro.baselines.hindsight import BREADCRUMB_BYTES, Hindsight
+from repro.model.encoding import encoded_size
+from repro.model.trace import Trace
+from tests.conftest import make_chain_trace, make_span
+
+
+def abnormal_trace(trace_id: str) -> Trace:
+    span = make_span(trace_id=trace_id, attributes={"is_abnormal": "true"})
+    return Trace(trace_id=trace_id, spans=[span])
+
+
+class TestHindsight:
+    def test_breadcrumbs_charged_for_every_trace(self):
+        fw = Hindsight()
+        trace = make_chain_trace(depth=4, nodes=("n0", "n1"))
+        fw.process_trace(trace, 0.0)
+        assert fw.network_bytes == BREADCRUMB_BYTES * len(trace.sub_traces())
+        assert fw.storage_bytes == 0
+
+    def test_triggered_trace_fully_retrieved(self):
+        fw = Hindsight()
+        trace = abnormal_trace("1" * 32)
+        fw.process_trace(trace, 0.0)
+        per_span = sum(encoded_size(s) for s in trace.spans)
+        assert fw.storage_bytes == per_span
+        assert fw.network_bytes == BREADCRUMB_BYTES + per_span
+        assert fw.query("1" * 32).is_exact
+
+    def test_untriggered_trace_not_stored(self):
+        fw = Hindsight()
+        trace = make_chain_trace(depth=2, trace_id="2" * 32)
+        fw.process_trace(trace, 0.0)
+        assert fw.query("2" * 32).status == "miss"
+
+    def test_buffer_eviction_loses_old_data(self):
+        # A tiny agent buffer: older traces get evicted before triggering.
+        fw = Hindsight(buffer_bytes_per_node=1500)
+        old = make_chain_trace(depth=3, trace_id="3" * 32)
+        fw.process_trace(old, 0.0)
+        for i in range(10):
+            fw.process_trace(make_chain_trace(depth=3, trace_id=f"{i:032x}"), 0.0)
+        # Retroactively triggering the evicted trace retrieves nothing.
+        fw._retrieve(old, 0.0)
+        assert fw.query("3" * 32).status == "miss"
+
+    def test_network_between_head_and_tail(self):
+        """Fig. 11's shape: Hindsight > OT-Head but far below OT-Tail."""
+        from repro.baselines.otel import OTFull
+
+        full = OTFull()
+        hindsight = Hindsight()
+        for i in range(50):
+            trace = make_chain_trace(depth=3, trace_id=f"{i:032x}")
+            full.process_trace(trace, 0.0)
+            hindsight.process_trace(trace, 0.0)
+        assert 0 < hindsight.network_bytes < full.network_bytes * 0.2

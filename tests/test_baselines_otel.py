@@ -1,0 +1,80 @@
+"""Unit tests for the OpenTelemetry-style baselines."""
+
+import pytest
+
+from repro.baselines.otel import OTFull, OTHead, OTTail, is_abnormal_trace
+from repro.model.encoding import encoded_size
+from repro.model.trace import Trace
+from tests.conftest import make_chain_trace, make_span
+
+
+def tagged_trace(trace_id: str) -> Trace:
+    span = make_span(trace_id=trace_id, attributes={"is_abnormal": "true"})
+    return Trace(trace_id=trace_id, spans=[span])
+
+
+class TestOTFull:
+    def test_charges_full_size_both_meters(self):
+        fw = OTFull()
+        trace = make_chain_trace(depth=3)
+        fw.process_trace(trace, 0.0)
+        size = encoded_size(trace)
+        assert fw.network_bytes == size
+        assert fw.storage_bytes == size
+
+    def test_query_always_exact_for_seen(self):
+        fw = OTFull()
+        trace = make_chain_trace(depth=2)
+        fw.process_trace(trace, 0.0)
+        assert fw.query(trace.trace_id).is_exact
+        assert fw.query("f" * 32).status == "miss"
+
+
+class TestOTHead:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            OTHead(rate=1.2)
+
+    def test_unsampled_costs_nothing(self):
+        fw = OTHead(rate=0.0)
+        fw.process_trace(make_chain_trace(depth=2), 0.0)
+        assert fw.network_bytes == 0
+        assert fw.storage_bytes == 0
+
+    def test_sampled_fraction_near_rate(self):
+        fw = OTHead(rate=0.1, seed=4)
+        stored = 0
+        for i in range(2000):
+            trace = make_chain_trace(depth=1, trace_id=f"{i:032x}")
+            fw.process_trace(trace, 0.0)
+        assert 120 < len(fw.stored_trace_ids()) < 280
+
+    def test_decision_deterministic(self):
+        fw = OTHead(rate=0.5, seed=9)
+        assert fw.sampled("a" * 32) == fw.sampled("a" * 32)
+
+
+class TestOTTail:
+    def test_network_charged_for_everything(self):
+        fw = OTTail()
+        normal = make_chain_trace(depth=2, trace_id="1" * 32)
+        abnormal = tagged_trace("2" * 32)
+        fw.process_trace(normal, 0.0)
+        fw.process_trace(abnormal, 0.0)
+        assert fw.network_bytes == encoded_size(normal) + encoded_size(abnormal)
+
+    def test_storage_only_for_matching(self):
+        fw = OTTail()
+        normal = make_chain_trace(depth=2, trace_id="1" * 32)
+        abnormal = tagged_trace("2" * 32)
+        fw.process_trace(normal, 0.0)
+        fw.process_trace(abnormal, 0.0)
+        assert fw.storage_bytes == encoded_size(abnormal)
+        assert fw.query("2" * 32).is_exact
+        assert fw.query("1" * 32).status == "miss"
+
+
+class TestPredicate:
+    def test_is_abnormal_trace(self):
+        assert is_abnormal_trace(tagged_trace("3" * 32))
+        assert not is_abnormal_trace(make_chain_trace(depth=1))

@@ -1,0 +1,81 @@
+"""Unit tests for the Robust Random Cut Forest."""
+
+import pytest
+
+from repro.baselines.rrcf import RandomCutTree, RobustRandomCutForest
+
+
+class TestRandomCutTree:
+    def test_insert_and_count(self):
+        tree = RandomCutTree(seed=1)
+        for i in range(10):
+            tree.insert(i, [float(i), float(i % 3)])
+        assert len(tree) == 10
+        assert 5 in tree
+
+    def test_duplicate_index_rejected(self):
+        tree = RandomCutTree(seed=1)
+        tree.insert(0, [1.0])
+        with pytest.raises(KeyError):
+            tree.insert(0, [2.0])
+
+    def test_delete_restores_structure(self):
+        tree = RandomCutTree(seed=2)
+        for i in range(8):
+            tree.insert(i, [float(i), 0.0])
+        tree.delete(3)
+        assert len(tree) == 7
+        assert 3 not in tree
+        with pytest.raises(KeyError):
+            tree.delete(3)
+
+    def test_delete_to_empty(self):
+        tree = RandomCutTree(seed=3)
+        tree.insert(0, [1.0, 2.0])
+        tree.delete(0)
+        assert len(tree) == 0
+
+    def test_duplicate_points_supported(self):
+        tree = RandomCutTree(seed=4)
+        for i in range(5):
+            tree.insert(i, [1.0, 1.0])
+        assert len(tree) == 5
+        assert tree.codisp(2) >= 0.0
+
+    def test_codisp_unknown_index(self):
+        tree = RandomCutTree(seed=5)
+        tree.insert(0, [0.0])
+        with pytest.raises(KeyError):
+            tree.codisp(42)
+
+    def test_outlier_has_higher_codisp(self):
+        tree = RandomCutTree(seed=6)
+        for i in range(60):
+            tree.insert(i, [float(i % 5), float(i % 7)])
+        tree.insert(999, [500.0, 500.0])
+        outlier_score = tree.codisp(999)
+        normal_scores = [tree.codisp(i) for i in range(20)]
+        assert outlier_score > sum(normal_scores) / len(normal_scores)
+
+
+class TestForest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustRandomCutForest(num_trees=0)
+        with pytest.raises(ValueError):
+            RobustRandomCutForest(window_size=1)
+
+    def test_window_bounded(self):
+        forest = RobustRandomCutForest(num_trees=3, window_size=16, seed=1)
+        for i in range(60):
+            forest.score([float(i % 4), 1.0])
+        assert len(forest) == 16
+
+    def test_outlier_scores_higher_than_inliers(self):
+        forest = RobustRandomCutForest(num_trees=10, window_size=128, seed=2)
+        inlier_scores = [
+            forest.score([float(i % 5), float(i % 3), 1.0]) for i in range(100)
+        ]
+        outlier_score = forest.score([100.0, -50.0, 99.0])
+        baseline = sorted(inlier_scores)[len(inlier_scores) // 2]
+        assert outlier_score > baseline

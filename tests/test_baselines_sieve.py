@@ -1,0 +1,71 @@
+"""Unit tests for the Sieve RRCF-based sampler."""
+
+import pytest
+
+from repro.baselines.sieve import Sieve, trace_features
+from repro.model.encoding import encoded_size
+from tests.conftest import make_chain_trace
+
+
+class TestTraceFeatures:
+    def test_fixed_dimensionality(self):
+        trace = make_chain_trace(depth=3)
+        assert len(trace_features(trace, dims=12)) == 12
+
+    def test_structural_features(self):
+        trace = make_chain_trace(depth=3)
+        features = trace_features(trace)
+        assert features[0] == 3.0  # span count
+        assert features[1] == 3.0  # depth
+
+    def test_different_shapes_different_vectors(self):
+        a = trace_features(make_chain_trace(depth=2, trace_id="1" * 32))
+        b = trace_features(make_chain_trace(depth=5, trace_id="2" * 32))
+        assert a != b
+
+
+class TestSieve:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            Sieve(budget_rate=0.0)
+
+    def test_network_charged_for_all(self):
+        sieve = Sieve(warmup=0)
+        total = 0
+        for i in range(30):
+            trace = make_chain_trace(depth=2, trace_id=f"{i:032x}")
+            sieve.process_trace(trace, 0.0)
+            total += encoded_size(trace)
+        assert sieve.network_bytes == total
+
+    def test_storage_bounded_by_budget(self):
+        sieve = Sieve(budget_rate=0.1, warmup=50, seed=5)
+        for i in range(400):
+            trace = make_chain_trace(
+                depth=(i % 3) + 1, trace_id=f"{i:032x}"
+            )
+            sieve.process_trace(trace, 0.0)
+        stored_fraction = len(sieve.stored_trace_ids()) / 400
+        assert stored_fraction < 0.35
+
+    def test_rare_shapes_preferentially_stored(self):
+        sieve = Sieve(budget_rate=0.08, warmup=40, seed=6)
+        rare_ids = []
+        for i in range(400):
+            if i % 50 == 49:
+                trace = make_chain_trace(depth=8, trace_id=f"{i:032x}")
+                rare_ids.append(trace.trace_id)
+            else:
+                trace = make_chain_trace(depth=2, trace_id=f"{i:032x}")
+            sieve.process_trace(trace, 0.0)
+        stored = sieve.stored_trace_ids()
+        rare_kept = sum(1 for tid in rare_ids if tid in stored)
+        # Rare deep traces (after warm-up) are mostly kept.
+        assert rare_kept >= len(rare_ids) // 2
+
+    def test_query_statuses(self):
+        sieve = Sieve(warmup=0)
+        trace = make_chain_trace(depth=2, trace_id="7" * 32)
+        sieve.process_trace(trace, 0.0)
+        assert sieve.query("7" * 32).status in ("exact", "miss")
+        assert sieve.query("8" * 32).status == "miss"

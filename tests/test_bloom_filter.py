@@ -1,0 +1,118 @@
+"""Unit tests for the Bloom filter substrate."""
+
+import pytest
+
+from repro.bloom.bloom_filter import (
+    BloomFilter,
+    optimal_bit_count,
+    optimal_hash_count,
+    sized_for_bytes,
+)
+
+
+class TestSizing:
+    def test_optimal_bit_count_monotone_in_n(self):
+        assert optimal_bit_count(1000, 0.01) > optimal_bit_count(100, 0.01)
+
+    def test_optimal_bit_count_monotone_in_fpp(self):
+        assert optimal_bit_count(1000, 0.001) > optimal_bit_count(1000, 0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_bit_count(0, 0.01)
+        with pytest.raises(ValueError):
+            optimal_bit_count(100, 1.5)
+
+    def test_hash_count_positive(self):
+        assert optimal_hash_count(9586, 1000) >= 1
+
+    def test_sized_for_bytes_fits_budget(self):
+        for budget in (512, 1024, 4096):
+            filt = sized_for_bytes(budget, 0.01)
+            assert filt.size_bytes <= budget
+            assert filt.expected_insertions > 0
+
+    def test_paper_default_capacity(self):
+        # 4 KB at fpp 0.01 holds ~3.4k trace ids (Section 4.1 geometry).
+        filt = sized_for_bytes(4096, 0.01)
+        assert 3000 < filt.expected_insertions < 3500
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        filt = BloomFilter(expected_insertions=500, false_positive_probability=0.01)
+        items = [f"trace-{i:04d}" for i in range(500)]
+        for item in items:
+            filt.add(item)
+        for item in items:
+            assert item in filt
+
+    def test_fpp_near_target_at_capacity(self):
+        filt = BloomFilter(expected_insertions=1000, false_positive_probability=0.01)
+        for i in range(1000):
+            filt.add(f"member-{i}")
+        false_positives = sum(
+            1 for i in range(10000) if f"absent-{i}" in filt
+        )
+        # Allow generous slack: the bound is probabilistic.
+        assert false_positives / 10000 < 0.03
+
+    def test_empty_filter_contains_nothing(self):
+        filt = BloomFilter(100, 0.01)
+        assert "anything" not in filt
+        assert len(filt) == 0
+
+    def test_is_full_at_capacity(self):
+        filt = BloomFilter(expected_insertions=10, false_positive_probability=0.01)
+        for i in range(9):
+            filt.add(str(i))
+        assert not filt.is_full
+        filt.add("last")
+        assert filt.is_full
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_membership(self):
+        filt = BloomFilter(200, 0.01)
+        for i in range(150):
+            filt.add(f"id-{i}")
+        clone = BloomFilter.from_bytes(filt.to_bytes(), 200, 0.01, inserted=150)
+        for i in range(150):
+            assert f"id-{i}" in clone
+        assert len(clone) == 150
+
+    def test_wrong_size_payload_rejected(self):
+        filt = BloomFilter(200, 0.01)
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(filt.to_bytes() + b"x", 200, 0.01)
+
+
+class TestUnionAndStats:
+    def test_union_contains_both_sides(self):
+        a = BloomFilter(100, 0.01)
+        b = BloomFilter(100, 0.01)
+        a.add("left")
+        b.add("right")
+        merged = a.union(b)
+        assert "left" in merged and "right" in merged
+        assert len(merged) == 2
+
+    def test_union_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(100, 0.01).union(BloomFilter(1000, 0.01))
+
+    def test_saturation_grows(self):
+        filt = BloomFilter(100, 0.01)
+        before = filt.saturation
+        for i in range(50):
+            filt.add(str(i))
+        assert filt.saturation > before
+
+    def test_estimated_fpp_grows_with_load(self):
+        filt = BloomFilter(100, 0.01)
+        for i in range(50):
+            filt.add(str(i))
+        mid = filt.estimated_fpp()
+        for i in range(50, 100):
+            filt.add(str(i))
+        assert filt.estimated_fpp() > mid

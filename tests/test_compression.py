@@ -1,0 +1,97 @@
+"""Unit tests for the compression stack (Table 4 machinery)."""
+
+import pytest
+
+from repro.compression import (
+    CLPCompressor,
+    LogReducerCompressor,
+    LogZipCompressor,
+    MintCompressor,
+    corpus_raw_bytes,
+    spans_as_lines,
+)
+from repro.compression.clp import classify_token
+from repro.workloads import WorkloadDriver, build_dataset
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    driver = WorkloadDriver(build_dataset("A"), seed=5)
+    return [trace for _, trace in driver.traces(60)]
+
+
+class TestCorpus:
+    def test_one_line_per_span(self, corpus):
+        lines = spans_as_lines(corpus)
+        assert len(lines) == sum(len(t.spans) for t in corpus)
+
+    def test_raw_bytes_positive(self, corpus):
+        assert corpus_raw_bytes(corpus) > 0
+
+
+class TestLogCompressors:
+    @pytest.mark.parametrize(
+        "compressor_cls", [LogZipCompressor, LogReducerCompressor, CLPCompressor]
+    )
+    def test_achieves_compression(self, corpus, compressor_cls):
+        result = compressor_cls().compress(corpus)
+        assert result.ratio > 1.5
+        assert result.compressed_bytes < result.raw_bytes
+
+    def test_logzip_details(self, corpus):
+        result = LogZipCompressor().compress(corpus)
+        assert result.details["templates"] >= 1
+        assert result.details["dictionary_bytes"] > 0
+
+    def test_clp_token_classes(self):
+        assert classify_token("12345") == "number"
+        assert classify_token("-3.5") == "number"
+        assert classify_token("4f2a1b9c") == "encoded"
+        assert classify_token("pool-1-thread") == "dictvar"
+        assert classify_token("SELECT") == "logtype"
+
+
+class TestMintCompressor:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            MintCompressor(mode="bogus")
+
+    def test_names(self):
+        assert MintCompressor("full").name == "Mint"
+        assert MintCompressor("no_span").name == "Mint w/o Sp"
+        assert MintCompressor("no_trace").name == "Mint w/o Tp"
+
+    def test_full_beats_ablations(self, corpus):
+        full = MintCompressor("full").compress(corpus)
+        no_span = MintCompressor("no_span").compress(corpus)
+        no_trace = MintCompressor("no_trace").compress(corpus)
+        assert full.ratio > no_span.ratio
+        assert full.ratio > no_trace.ratio
+
+    def test_full_beats_log_compressors(self, corpus):
+        full = MintCompressor("full").compress(corpus)
+        for baseline in (LogZipCompressor(), LogReducerCompressor(), CLPCompressor()):
+            assert full.ratio > baseline.compress(corpus).ratio
+
+    def test_lossless_round_trip(self, corpus):
+        result = MintCompressor("full").compress(corpus)
+        rebuilt = {t.trace_id: t for t in MintCompressor.decompress_full(result)}
+        assert set(rebuilt) == {t.trace_id for t in corpus}
+        for trace in corpus:
+            original = {
+                s.span_id: (s.parent_id, s.name, s.service, s.attributes,
+                            round(s.duration, 6))
+                for s in trace.spans
+            }
+            restored = {
+                s.span_id: (s.parent_id, s.name, s.service, s.attributes,
+                            round(s.duration, 6))
+                for s in rebuilt[trace.trace_id].spans
+            }
+            assert original == restored
+
+    def test_pattern_counts_small(self, corpus):
+        result = MintCompressor("full").compress(corpus)
+        span_count = sum(len(t.spans) for t in corpus)
+        assert result.details["span_patterns"] < span_count / 5
+        assert result.details["topo_patterns"] < len(corpus)

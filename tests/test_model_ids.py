@@ -1,0 +1,63 @@
+"""Unit tests for trace/span id generation."""
+
+from repro.model.ids import (
+    IdGenerator,
+    is_valid_span_id,
+    is_valid_trace_id,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIdGenerator:
+    def test_trace_id_width(self):
+        assert len(IdGenerator(1).trace_id()) == 32
+
+    def test_span_id_width(self):
+        assert len(IdGenerator(1).span_id()) == 16
+
+    def test_trace_ids_unique_within_generator(self):
+        gen = IdGenerator(seed=3)
+        ids = {gen.trace_id() for _ in range(2000)}
+        assert len(ids) == 2000
+
+    def test_same_seed_same_sequence(self):
+        a = IdGenerator(seed=7)
+        b = IdGenerator(seed=7)
+        assert [a.trace_id() for _ in range(5)] == [b.trace_id() for _ in range(5)]
+        assert [a.span_id() for _ in range(5)] == [b.span_id() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert IdGenerator(1).trace_id() != IdGenerator(2).trace_id()
+
+    def test_ids_are_lowercase_hex(self):
+        gen = IdGenerator(seed=11)
+        for _ in range(50):
+            assert is_valid_trace_id(gen.trace_id())
+            assert is_valid_span_id(gen.span_id())
+
+
+class TestModuleLevelHelpers:
+    def test_new_trace_id_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_new_span_id_shape(self):
+        assert is_valid_span_id(new_span_id())
+
+
+class TestValidation:
+    def test_rejects_wrong_length(self):
+        assert not is_valid_trace_id("ab")
+        assert not is_valid_span_id("ab")
+
+    def test_rejects_non_hex(self):
+        assert not is_valid_trace_id("g" * 32)
+        assert not is_valid_span_id("z" * 16)
+
+    def test_rejects_uppercase(self):
+        assert not is_valid_trace_id("A" * 32)
+        assert not is_valid_span_id("F" * 16)
+
+    def test_accepts_canonical(self):
+        assert is_valid_trace_id("0" * 32)
+        assert is_valid_span_id("f" * 16)

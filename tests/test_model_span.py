@@ -1,0 +1,54 @@
+"""Unit tests for the span data model."""
+
+import pytest
+
+from repro.model.span import Span, SpanKind, SpanStatus
+from tests.conftest import make_span
+
+
+class TestSpanBasics:
+    def test_root_detection(self):
+        assert make_span(parent_id=None).is_root
+        assert not make_span(parent_id="2" * 16).is_root
+
+    def test_empty_parent_normalised_to_none(self):
+        span = make_span(parent_id="")
+        assert span.parent_id is None
+        assert span.is_root
+
+    def test_end_time(self):
+        span = make_span(start_time=5.0, duration=2.5)
+        assert span.end_time == 7.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_span(duration=-1.0)
+
+    def test_default_kind_and_status(self):
+        span = make_span()
+        assert span.kind is SpanKind.SERVER
+        assert span.status is SpanStatus.OK
+
+
+class TestAttributeTyping:
+    def test_string_attributes_filtered(self):
+        span = make_span(attributes={"sql": "select 1", "rows": 3, "ratio": 0.5})
+        assert span.string_attributes() == {"sql": "select 1"}
+
+    def test_numeric_attributes_filtered(self):
+        span = make_span(attributes={"sql": "select 1", "rows": 3, "ratio": 0.5})
+        assert span.numeric_attributes() == {"rows": 3.0, "ratio": 0.5}
+
+    def test_bool_not_treated_as_numeric(self):
+        span = make_span(attributes={"flag": True})
+        assert span.numeric_attributes() == {}
+
+    def test_with_attributes_merges_without_mutation(self):
+        span = make_span(attributes={"a": "1"})
+        merged = span.with_attributes({"b": "2"})
+        assert merged.attributes == {"a": "1", "b": "2"}
+        assert span.attributes == {"a": "1"}
+
+    def test_with_attributes_overrides(self):
+        span = make_span(attributes={"a": "1"})
+        assert span.with_attributes({"a": "9"}).attributes == {"a": "9"}

@@ -1,0 +1,97 @@
+"""Unit tests for traces and sub-traces."""
+
+import pytest
+
+from repro.model.span import SpanKind, SpanStatus
+from repro.model.trace import SubTrace, Trace, group_spans_by_trace
+from tests.conftest import make_chain_trace, make_span
+
+
+class TestTrace:
+    def test_mismatched_trace_id_rejected(self):
+        span = make_span(trace_id="c" * 32)
+        with pytest.raises(ValueError):
+            Trace(trace_id="d" * 32, spans=[span])
+
+    def test_root_and_duration(self):
+        trace = make_chain_trace(depth=3)
+        assert trace.root is not None
+        assert trace.root.parent_id is None
+        assert trace.duration == trace.root.duration
+
+    def test_duration_of_fragment_uses_envelope(self):
+        s1 = make_span(span_id="1" * 16, parent_id="9" * 16, start_time=1.0, duration=2.0)
+        s2 = make_span(span_id="2" * 16, parent_id="9" * 16, start_time=4.0, duration=3.0)
+        fragment = Trace(trace_id=s1.trace_id, spans=[s1, s2])
+        assert fragment.root is None
+        assert fragment.duration == pytest.approx(6.0)
+
+    def test_services(self):
+        trace = make_chain_trace(depth=3)
+        assert trace.services == {"svc-0", "svc-1", "svc-2"}
+
+    def test_has_error(self):
+        trace = make_chain_trace(depth=2)
+        assert not trace.has_error
+        erroring = make_span(status=SpanStatus.ERROR, span_id="e" * 16,
+                             trace_id=trace.trace_id, parent_id=trace.root.span_id)
+        assert Trace(trace_id=trace.trace_id, spans=trace.spans + [erroring]).has_error
+
+    def test_depth_of_chain(self):
+        assert make_chain_trace(depth=4).depth() == 4
+
+    def test_depth_empty(self):
+        assert Trace(trace_id="a" * 32, spans=[]).depth() == 0
+
+    def test_children_sorted_by_start(self):
+        root = make_span(span_id="0" * 16)
+        kid_late = make_span(span_id="2" * 16, parent_id=root.span_id, start_time=5.0)
+        kid_early = make_span(span_id="1" * 16, parent_id=root.span_id, start_time=1.0)
+        trace = Trace(trace_id=root.trace_id, spans=[root, kid_late, kid_early])
+        assert [s.span_id for s in trace.children_of(root.span_id)] == [
+            kid_early.span_id,
+            kid_late.span_id,
+        ]
+
+    def test_span_by_id(self):
+        trace = make_chain_trace(depth=2)
+        target = trace.spans[1]
+        assert trace.span_by_id(target.span_id) is target
+        assert trace.span_by_id("f" * 16) is None
+
+
+class TestSubTraces:
+    def test_split_by_node(self):
+        trace = make_chain_trace(depth=4, nodes=("node-a", "node-b"))
+        subs = trace.sub_traces()
+        assert {s.node for s in subs} == {"node-a", "node-b"}
+        assert sum(len(s) for s in subs) == 4
+
+    def test_entry_spans_cross_node(self):
+        trace = make_chain_trace(depth=4, nodes=("node-a", "node-b"))
+        for sub in trace.sub_traces():
+            entries = sub.entry_spans()
+            # The chain alternates nodes, so every local span is an entry.
+            assert len(entries) == len(sub.spans)
+
+    def test_entry_spans_single_node(self):
+        trace = make_chain_trace(depth=4, nodes=("node-a",))
+        (sub,) = trace.sub_traces()
+        assert [s.parent_id for s in sub.entry_spans()] == [None]
+
+    def test_local_children(self):
+        trace = make_chain_trace(depth=3, nodes=("node-a",))
+        (sub,) = trace.sub_traces()
+        root = sub.entry_spans()[0]
+        kids = sub.local_children(root.span_id)
+        assert len(kids) == 1
+
+
+class TestGrouping:
+    def test_group_spans_by_trace(self):
+        t1 = make_chain_trace(depth=2, trace_id="1" * 32)
+        t2 = make_chain_trace(depth=3, trace_id="2" * 32)
+        regrouped = group_spans_by_trace(t1.spans + t2.spans)
+        assert set(regrouped) == {t1.trace_id, t2.trace_id}
+        assert len(regrouped[t1.trace_id]) == 2
+        assert len(regrouped[t2.trace_id]) == 3

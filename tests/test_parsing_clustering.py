@@ -1,0 +1,52 @@
+"""Unit tests for leader clustering of attribute values."""
+
+import pytest
+
+from repro.parsing.clustering import cluster_sizes, cluster_strings
+
+
+def sql(i: int) -> str:
+    return (
+        f"INSERT INTO patch_inventory (city_id, rb_id, customer_id, note) "
+        f"VALUES ({i}, {i + 1}, {i + 2}, 'auto')"
+    )
+
+
+class TestClusterStrings:
+    def test_similar_values_cluster_together(self):
+        clusters = cluster_strings([sql(i) for i in range(20)], threshold=0.8)
+        assert len(clusters) == 1
+        assert cluster_sizes(clusters) == [20]
+
+    def test_dissimilar_values_split(self):
+        values = [sql(1), "GET /health HTTP/1.1 response status ok cached"]
+        clusters = cluster_strings(values, threshold=0.8)
+        assert len(clusters) == 2
+
+    def test_every_value_is_member_of_exactly_one_cluster(self):
+        values = [sql(i) for i in range(5)] + ["something else entirely here"] * 3
+        clusters = cluster_strings(values, threshold=0.8)
+        assert sum(cluster_sizes(clusters)) == len(values)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cluster_strings(["a"], threshold=1.5)
+
+    def test_max_clusters_cap(self):
+        values = [f"completely unique value number {i} " + "x" * i for i in range(10)]
+        clusters = cluster_strings(values, threshold=0.99, max_clusters=3)
+        assert len(clusters) <= 3
+        assert sum(cluster_sizes(clusters)) == len(values)
+
+    def test_empty_input(self):
+        assert cluster_strings([], threshold=0.8) == []
+
+    def test_threshold_zero_single_cluster(self):
+        clusters = cluster_strings(["abc def", "xyz 123", "q"], threshold=0.0)
+        assert len(clusters) == 1
+
+    def test_order_deterministic(self):
+        values = [sql(i) for i in range(6)]
+        a = cluster_strings(values, threshold=0.8)
+        b = cluster_strings(values, threshold=0.8)
+        assert [c.members for c in a] == [c.members for c in b]

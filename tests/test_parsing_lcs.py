@@ -1,0 +1,67 @@
+"""Unit tests for LCS similarity (paper Eq. 1)."""
+
+import pytest
+
+from repro.parsing.lcs import lcs_length, lcs_tokens, token_similarity
+
+
+class TestLcsLength:
+    def test_identical(self):
+        assert lcs_length(list("abcd"), list("abcd")) == 4
+
+    def test_disjoint(self):
+        assert lcs_length(list("abc"), list("xyz")) == 0
+
+    def test_subsequence(self):
+        assert lcs_length(["a", "b", "c", "d"], ["b", "d"]) == 2
+
+    def test_classic_case(self):
+        assert lcs_length(list("ABCBDAB"), list("BDCABA")) == 4
+
+    def test_empty(self):
+        assert lcs_length([], list("abc")) == 0
+        assert lcs_length([], []) == 0
+
+    def test_symmetry(self):
+        a, b = list("tokens vary here"), list("tokens differ here")
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+
+class TestLcsTokens:
+    def test_is_subsequence_of_both(self):
+        a = ["select", "x", "from", "t1", "where", "id"]
+        b = ["select", "y", "from", "t2", "where", "id"]
+        common = lcs_tokens(a, b)
+        assert common == ["select", "from", "where", "id"]
+
+    def test_length_matches_lcs_length(self):
+        a = list("ABCBDAB")
+        b = list("BDCABA")
+        assert len(lcs_tokens(a, b)) == lcs_length(a, b)
+
+    def test_empty_inputs(self):
+        assert lcs_tokens([], ["a"]) == []
+
+
+class TestTokenSimilarity:
+    def test_identical_is_one(self):
+        assert token_similarity(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert token_similarity(["a"], ["b"]) == 0.0
+
+    def test_both_empty_is_one(self):
+        assert token_similarity([], []) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert token_similarity([], ["a"]) == 0.0
+
+    def test_normalised_by_longer(self):
+        # LCS=2 over max(2, 4) = 0.5
+        assert token_similarity(["a", "b"], ["a", "b", "c", "d"]) == pytest.approx(0.5)
+
+    def test_paper_threshold_case(self):
+        # 4 of 5 tokens shared: exactly the 0.8 default threshold.
+        a = ["http", "nio", "8080", "exec", "17"]
+        b = ["http", "nio", "8080", "exec", "42"]
+        assert token_similarity(a, b) == pytest.approx(0.8)

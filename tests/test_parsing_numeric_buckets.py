@@ -1,0 +1,94 @@
+"""Unit tests for exponential-interval bucketing."""
+
+import math
+
+import pytest
+
+from repro.parsing.numeric_buckets import (
+    NumericBucketer,
+    parse_bucket_label,
+    reconstruct_from_label,
+)
+
+
+class TestBucketer:
+    def test_gamma_from_alpha(self):
+        assert NumericBucketer(alpha=0.5).gamma == pytest.approx(3.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            NumericBucketer(alpha=0.0)
+        with pytest.raises(ValueError):
+            NumericBucketer(alpha=1.0)
+
+    def test_unit_interval_is_bucket_zero(self):
+        b = NumericBucketer(alpha=0.5)
+        for value in (0.01, 0.5, 1.0):
+            assert b.bucket_of(value).index == 0
+
+    def test_value_within_its_bucket(self):
+        b = NumericBucketer(alpha=0.5)
+        for value in (1.5, 3.0, 10.0, 100.0, 12345.0):
+            bucket = b.bucket_of(value)
+            assert bucket.lower < value <= bucket.upper * (1 + 1e-9)
+
+    def test_bucket_boundaries_gamma_powers(self):
+        b = NumericBucketer(alpha=0.5)
+        bucket = b.bucket_of(30.0)
+        assert bucket.lower == pytest.approx(27.0)
+        assert bucket.upper == pytest.approx(81.0)
+        assert bucket.label == "(27, 81]"
+
+    def test_zero_gets_degenerate_bucket(self):
+        bucket = NumericBucketer().bucket_of(0.0)
+        assert (bucket.lower, bucket.upper) == (0.0, 0.0)
+
+    def test_negative_values_mirrored(self):
+        b = NumericBucketer(alpha=0.5)
+        bucket = b.bucket_of(-30.0)
+        assert bucket.negative
+        assert bucket.label.startswith("-(")
+        assert b.reconstruct(bucket, b.parameter_of(-30.0)) == pytest.approx(-30.0)
+
+    def test_parameter_plus_lower_reconstructs(self):
+        b = NumericBucketer(alpha=0.5)
+        for value in (0.25, 1.0, 2.0, 29.9, 81.0, 5769.0):
+            bucket = b.bucket_of(value)
+            assert b.reconstruct(bucket, b.parameter_of(value)) == pytest.approx(value)
+
+    def test_midpoint_relative_error_bounded_by_alpha(self):
+        for alpha in (0.2, 0.5, 0.8):
+            b = NumericBucketer(alpha=alpha)
+            for value in (1.7, 13.0, 999.0):
+                bucket = b.bucket_of(value)
+                rel_error = abs(bucket.midpoint - value) / value
+                assert rel_error <= alpha + 1e-9
+
+    def test_bucket_by_index_round_trip(self):
+        b = NumericBucketer(alpha=0.5)
+        for value in (0.3, 4.0, 250.0):
+            bucket = b.bucket_of(value)
+            rebuilt = b.bucket_by_index(bucket.index, bucket.negative)
+            assert rebuilt == bucket
+
+    def test_index_of_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NumericBucketer().index_of(0.0)
+
+
+class TestLabelCodec:
+    def test_parse_label(self):
+        assert parse_bucket_label("(27, 81]") == (False, 27.0, 81.0)
+
+    def test_parse_negative_label(self):
+        assert parse_bucket_label("-(27, 81]") == (True, 27.0, 81.0)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bucket_label("27..81")
+        with pytest.raises(ValueError):
+            parse_bucket_label("(2781]")
+
+    def test_reconstruct_from_label(self):
+        assert reconstruct_from_label("(27, 81]", 3.0) == pytest.approx(30.0)
+        assert reconstruct_from_label("-(27, 81]", 3.0) == pytest.approx(-30.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the template prefix tree."""
+
+from repro.parsing.prefix_tree import TemplatePrefixTree
+from repro.parsing.string_patterns import WILDCARD, StringTemplate
+from repro.parsing.tokenizer import tokenize
+
+
+def t(*tokens: str) -> StringTemplate:
+    return StringTemplate(tokens=tokens)
+
+
+class TestInsertAndContains:
+    def test_insert_and_contains(self):
+        tree = TemplatePrefixTree()
+        template = t("select", " ", WILDCARD)
+        assert tree.insert(template)
+        assert template in tree
+        assert len(tree) == 1
+
+    def test_duplicate_insert_rejected(self):
+        tree = TemplatePrefixTree()
+        template = t("a", " ", "b")
+        assert tree.insert(template)
+        assert not tree.insert(template)
+        assert len(tree) == 1
+
+    def test_templates_listing(self):
+        tree = TemplatePrefixTree()
+        t1, t2 = t("a", " ", "b"), t("a", " ", WILDCARD)
+        tree.insert(t1)
+        tree.insert(t2)
+        assert set(tree.templates()) == {t1, t2}
+
+    def test_prefix_sharing_reduces_nodes(self):
+        shared = TemplatePrefixTree()
+        shared.insert(t("select", " ", "a"))
+        shared.insert(t("select", " ", "b"))
+        disjoint = TemplatePrefixTree()
+        disjoint.insert(t("select", " ", "a"))
+        disjoint.insert(t("update", " ", "b"))
+        assert shared.node_count() < disjoint.node_count()
+
+
+class TestMatching:
+    def test_exact_literal_match(self):
+        tree = TemplatePrefixTree()
+        template = t(*tokenize("select 1"))
+        tree.insert(template)
+        assert tree.find_match("select 1", tokenize("select 1")) == template
+
+    def test_wildcard_match(self):
+        tree = TemplatePrefixTree()
+        template = t("select", " ", WILDCARD)
+        tree.insert(template)
+        value = "select something"
+        assert tree.find_match(value, tokenize(value)) == template
+
+    def test_most_specific_wins(self):
+        tree = TemplatePrefixTree()
+        loose = t(WILDCARD)
+        tight = t("select", " ", WILDCARD)
+        tree.insert(loose)
+        tree.insert(tight)
+        value = "select x"
+        assert tree.find_match(value, tokenize(value)) == tight
+
+    def test_no_match_returns_none(self):
+        tree = TemplatePrefixTree()
+        tree.insert(t("update", " ", WILDCARD))
+        assert tree.find_match("delete row", tokenize("delete row")) is None
+
+    def test_wildcard_consuming_zero_tokens(self):
+        tree = TemplatePrefixTree()
+        template = t("prefix", WILDCARD)
+        tree.insert(template)
+        assert tree.find_match("prefix", tokenize("prefix")) == template
+
+    def test_trailing_wildcard_consumes_rest(self):
+        tree = TemplatePrefixTree()
+        template = t("a", " ", WILDCARD)
+        tree.insert(template)
+        value = "a b c d e f"
+        assert tree.find_match(value, tokenize(value)) == template
+
+    def test_interior_wildcard(self):
+        tree = TemplatePrefixTree()
+        template = t("begin", " ", WILDCARD, " ", "end")
+        tree.insert(template)
+        value = "begin middle stuff end"
+        assert tree.find_match(value, tokenize(value)) == template

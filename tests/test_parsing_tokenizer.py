@@ -1,0 +1,43 @@
+"""Unit tests for string tokenisation."""
+
+from repro.parsing.tokenizer import detokenize, tokenize, word_tokens
+
+
+class TestTokenize:
+    def test_simple_sql(self):
+        tokens = tokenize("select * from A")
+        assert "select" in tokens
+        assert "from" in tokens
+        assert "A" in tokens
+
+    def test_round_trip_simple(self):
+        text = "select * from A"
+        assert detokenize(tokenize(text)) == text
+
+    def test_delimiters_kept_as_tokens(self):
+        tokens = tokenize("a/b=c")
+        assert tokens == ["a", "/", "b", "=", "c"]
+
+    def test_compound_identifiers_split(self):
+        # Underscore and dash split so common stems count towards LCS.
+        assert "patch" in tokenize("patch_inventory")
+        assert "scheduling" in tokenize("scheduling-1")
+
+    def test_wildcard_survives(self):
+        assert tokenize("select * from <*>")[-1] == "<*>"
+
+    def test_whitespace_normalised(self):
+        assert tokenize("a   b") == ["a", " ", "b"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestWordTokens:
+    def test_delimiters_excluded(self):
+        words = word_tokens(tokenize("a/b = c"))
+        assert words == ["a", "b", "c"]
+
+    def test_star_is_a_word(self):
+        # '*' is deliberately not a delimiter (wildcard round-tripping).
+        assert "*" in word_tokens(tokenize("select * from t"))

@@ -1,0 +1,107 @@
+"""Unit tests for the trace parser (topology patterns)."""
+
+import pytest
+
+from repro.model.span import SpanKind
+from repro.model.trace import SubTrace
+from repro.parsing.span_parser import SpanParser
+from repro.parsing.trace_parser import TopoPattern, TraceParser, extract_topo_pattern
+from tests.conftest import make_chain_trace, make_span
+
+
+def make_subtrace(trace_id: str, shape: str = "chain") -> SubTrace:
+    if shape == "chain":
+        trace = make_chain_trace(depth=3, trace_id=trace_id)
+        return trace.sub_traces()[0]
+    root = make_span(trace_id=trace_id, span_id="0" * 16)
+    kids = [
+        make_span(
+            trace_id=trace_id,
+            span_id=f"{i}" * 16,
+            parent_id=root.span_id,
+            name=f"child-{i}",
+            service=f"kid-{i}",
+            start_time=float(i),
+        )
+        for i in (1, 2)
+    ]
+    return SubTrace(trace_id=trace_id, node="node-0", spans=[root] + kids)
+
+
+class TestTraceParser:
+    def test_same_shape_shares_pattern(self):
+        parser = TraceParser(SpanParser())
+        a = parser.parse_sub_trace(make_subtrace("1" * 32))
+        b = parser.parse_sub_trace(make_subtrace("2" * 32))
+        assert a.topo_pattern_id == b.topo_pattern_id
+        assert len(parser.library) == 1
+
+    def test_different_shapes_split(self):
+        parser = TraceParser(SpanParser())
+        a = parser.parse_sub_trace(make_subtrace("1" * 32, "chain"))
+        b = parser.parse_sub_trace(make_subtrace("2" * 32, "fan"))
+        assert a.topo_pattern_id != b.topo_pattern_id
+        assert len(parser.library) == 2
+
+    def test_empty_subtrace_rejected(self):
+        parser = TraceParser(SpanParser())
+        with pytest.raises(ValueError):
+            parser.parse_sub_trace(SubTrace(trace_id="9" * 32, node="n", spans=[]))
+
+    def test_match_counts_accumulate(self):
+        parser = TraceParser(SpanParser())
+        for i in range(5):
+            parser.parse_sub_trace(make_subtrace(f"{i:032x}"))
+        (pattern,) = parser.library.patterns()
+        assert parser.library.match_count(pattern.pattern_id) == 5
+        assert parser.library.total_matches() == 5
+
+    def test_sibling_order_does_not_split_patterns(self):
+        parser = TraceParser(SpanParser())
+        # Same fan-out, children arriving in different start order.
+        sub_a = make_subtrace("1" * 32, "fan")
+        sub_b = make_subtrace("2" * 32, "fan")
+        sub_b.spans[1], sub_b.spans[2] = sub_b.spans[2], sub_b.spans[1]
+        a = parser.parse_sub_trace(sub_a)
+        b = parser.parse_sub_trace(sub_b)
+        assert a.topo_pattern_id == b.topo_pattern_id
+
+
+class TestTopoPattern:
+    def test_span_pattern_ids_preorder(self):
+        parser = TraceParser(SpanParser())
+        parsed = parser.parse_sub_trace(make_subtrace("3" * 32, "fan"))
+        pattern = parser.library.get(parsed.topo_pattern_id)
+        assert pattern.span_count == 3
+        assert len(pattern.span_pattern_ids) == 3
+
+    def test_serialisation_round_trip(self):
+        parser = TraceParser(SpanParser())
+        parsed = parser.parse_sub_trace(make_subtrace("4" * 32, "fan"))
+        pattern = parser.library.get(parsed.topo_pattern_id)
+        rebuilt = TopoPattern.from_dict(pattern.to_dict())
+        assert rebuilt == pattern
+        assert rebuilt.pattern_id == pattern.pattern_id
+
+    def test_entry_and_exit_ops(self):
+        trace_id = "5" * 32
+        root = make_span(trace_id=trace_id, span_id="0" * 16, service="gw", name="GET /")
+        client = make_span(
+            trace_id=trace_id,
+            span_id="1" * 16,
+            parent_id=root.span_id,
+            service="gw",
+            name="call-downstream",
+            kind=SpanKind.CLIENT,
+            attributes={"peer.service": "backend"},
+        )
+        sub = SubTrace(trace_id=trace_id, node="node-0", spans=[root, client])
+        parsed = {s.span_id: SpanParser().parse(s) for s in sub}
+        pattern = extract_topo_pattern(sub, parsed)
+        assert ("gw", "GET /") in pattern.entry_ops
+        assert ("backend", "call-downstream") in pattern.exit_ops
+
+    def test_params_size_positive(self):
+        parser = TraceParser(SpanParser())
+        parsed = parser.parse_sub_trace(make_subtrace("6" * 32))
+        assert parsed.params_size_bytes() > 0

@@ -1,0 +1,113 @@
+"""Property-based tests for the RRCF and topology-pattern invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rrcf import RandomCutTree
+from repro.model.span import Span, SpanKind
+from repro.model.trace import SubTrace
+from repro.parsing.span_parser import SpanParser
+from repro.parsing.trace_parser import extract_topo_pattern
+
+points = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestRrcfProperties:
+    @given(points, st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_count_tracks_inserts(self, pts, seed):
+        tree = RandomCutTree(seed=seed)
+        for i, p in enumerate(pts):
+            tree.insert(i, list(p))
+        assert len(tree) == len(pts)
+        for i in range(len(pts)):
+            assert i in tree
+
+    @given(points, st.integers(0, 2**16), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_insert_delete_round_trip(self, pts, seed, data):
+        tree = RandomCutTree(seed=seed)
+        for i, p in enumerate(pts):
+            tree.insert(i, list(p))
+        order = list(range(len(pts)))
+        data.draw(st.randoms(note_method_calls=False)).shuffle(order)
+        for count_left, i in enumerate(order):
+            tree.delete(i)
+            assert len(tree) == len(pts) - count_left - 1
+            assert i not in tree
+
+    @given(points, st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_codisp_nonnegative(self, pts, seed):
+        tree = RandomCutTree(seed=seed)
+        for i, p in enumerate(pts):
+            tree.insert(i, list(p))
+        for i in range(len(pts)):
+            assert tree.codisp(i) >= 0.0
+
+
+def _random_subtrace(rng: random.Random, n_spans: int) -> SubTrace:
+    trace_id = f"{rng.getrandbits(128):032x}"
+    spans: list[Span] = []
+    for i in range(n_spans):
+        parent = None if i == 0 else spans[rng.randrange(i)].span_id
+        spans.append(
+            Span(
+                trace_id=trace_id,
+                span_id=f"{i:016x}",
+                parent_id=parent,
+                name=f"op-{i % 3}",
+                service=f"svc-{i % 2}",
+                kind=SpanKind.SERVER,
+                start_time=float(i),
+                duration=1.0,
+                node="node-0",
+                attributes={},
+            )
+        )
+    return SubTrace(trace_id=trace_id, node="node-0", spans=spans)
+
+
+class TestTopoPatternProperties:
+    @given(st.integers(1, 8), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_span_order_invariance(self, n_spans, seed):
+        """Shuffling the span list must not change the pattern id."""
+        rng = random.Random(seed)
+        sub = _random_subtrace(rng, n_spans)
+        parser_a = SpanParser()
+        parsed_a = {s.span_id: parser_a.parse(s) for s in sub}
+        pattern_a = extract_topo_pattern(sub, parsed_a)
+
+        shuffled = list(sub.spans)
+        rng.shuffle(shuffled)
+        sub_b = SubTrace(trace_id=sub.trace_id, node=sub.node, spans=shuffled)
+        parser_b = SpanParser()
+        parsed_b = {s.span_id: parser_b.parse(s) for s in sub_b}
+        pattern_b = extract_topo_pattern(sub_b, parsed_b)
+        assert pattern_a.pattern_id == pattern_b.pattern_id
+
+    @given(st.integers(1, 8), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_serialisation_round_trip(self, n_spans, seed):
+        from repro.parsing.trace_parser import TopoPattern
+
+        rng = random.Random(seed)
+        sub = _random_subtrace(rng, n_spans)
+        parser = SpanParser()
+        parsed = {s.span_id: parser.parse(s) for s in sub}
+        pattern = extract_topo_pattern(sub, parsed)
+        rebuilt = TopoPattern.from_dict(pattern.to_dict())
+        assert rebuilt.pattern_id == pattern.pattern_id
+        assert rebuilt.span_count == n_spans

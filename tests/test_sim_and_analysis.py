@@ -1,0 +1,121 @@
+"""Unit tests for the simulation substrate and analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    hit_breakdown,
+    inter_span_commonality,
+    inter_trace_commonality,
+    miss_rate,
+    render_table,
+    top1_accuracy,
+)
+from repro.sim.clock import SimClock
+from repro.sim.meters import Meter, OverheadLedger
+from tests.conftest import make_chain_trace
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now == 5.0
+
+    def test_no_backwards(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock.advance_to(5.0) == 10.0
+        assert clock.advance_to(20.0) == 20.0
+
+
+class TestMeter:
+    def test_totals(self):
+        meter = Meter()
+        meter.record(100, now=0.0)
+        meter.record(50, now=61.0)
+        assert meter.total_bytes == 150
+        assert meter.event_count == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Meter().record(-1)
+
+    def test_per_minute_series(self):
+        meter = Meter()
+        meter.record(10, now=0.0)
+        meter.record(20, now=30.0)
+        meter.record(30, now=90.0)
+        assert meter.per_minute_series() == [(0, 30), (1, 30)]
+
+    def test_mb_per_minute(self):
+        meter = Meter()
+        meter.record(2 * 1024 * 1024, now=0.0)
+        meter.record(2 * 1024 * 1024, now=61.0)
+        assert meter.mb_per_minute() == pytest.approx(2.0)
+
+    def test_reset(self):
+        meter = Meter()
+        meter.record(5)
+        meter.reset()
+        assert meter.total_bytes == 0
+
+    def test_ledger_snapshot(self):
+        ledger = OverheadLedger()
+        ledger.network.record(10)
+        ledger.storage.record(20)
+        assert ledger.as_dict() == {"network_bytes": 10, "storage_bytes": 20}
+
+
+class TestCommonality:
+    def test_identical_traces_full_commonality(self):
+        traces = [make_chain_trace(depth=3, trace_id=f"{i:032x}") for i in range(10)]
+        stats = inter_trace_commonality(traces)
+        assert stats.proportion == 1.0
+        assert stats.total_items == 10
+
+    def test_mixed_corpus_partial_commonality(self):
+        same = [make_chain_trace(depth=3, trace_id=f"{i:032x}") for i in range(5)]
+        different = [
+            make_chain_trace(depth=d, trace_id=f"{d + 100:032x}") for d in (1, 2, 4, 5)
+        ]
+        stats = inter_trace_commonality(same + different)
+        assert 0.0 < stats.proportion < 1.0
+
+    def test_inter_span_commonality_counts_spans(self):
+        traces = [make_chain_trace(depth=3, trace_id=f"{i:032x}") for i in range(4)]
+        stats = inter_span_commonality(traces)
+        assert stats.total_items == 12
+        assert stats.proportion > 0.0
+
+    def test_empty_corpus(self):
+        assert inter_trace_commonality([]).proportion == 0.0
+
+
+class TestMetrics:
+    def test_hit_breakdown(self):
+        out = hit_breakdown(["exact", "partial", "partial", "miss"])
+        assert out == {"exact": 1, "partial": 2, "miss": 1}
+
+    def test_miss_rate(self):
+        assert miss_rate(["miss", "exact", "miss", "partial"]) == 0.5
+        assert miss_rate([]) == 0.0
+
+    def test_top1_accuracy(self):
+        assert top1_accuracy(["a", "b", None], ["a", "x", "c"]) == pytest.approx(1 / 3)
+        assert top1_accuracy([], []) == 0.0
+
+
+class TestReporting:
+    def test_render_table_aligned(self):
+        table = render_table(
+            ["name", "value"], [["mint", 1.0], ["baseline", 20.5]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        table = render_table(["v"], [[0.123456]])
+        assert "0.1235" in table

@@ -1,0 +1,182 @@
+"""Unit tests for workload specs, generators and benchmark systems."""
+
+import random
+
+import pytest
+
+from repro.model.span import SpanKind
+from repro.parsing.lcs import token_similarity
+from repro.parsing.tokenizer import tokenize, word_tokens
+from repro.workloads import (
+    DATASET_SPECS,
+    SUBSERVICE_SPECS,
+    WorkloadDriver,
+    build_dataset,
+    build_onlineboutique,
+    build_subservice,
+    build_trainticket,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.specs import (
+    ApiSpec,
+    CallSpec,
+    NumericAttributeSpec,
+    StringAttributeSpec,
+    Workload,
+    int_slot,
+)
+
+
+class TestSpecs:
+    def test_string_spec_fills_slots(self):
+        spec = StringAttributeSpec(template="id={} n={}", slots=[int_slot(1, 9)] * 2)
+        value = spec.generate(random.Random(1))
+        assert value.startswith("id=")
+        assert spec.slot_count == 2
+
+    def test_numeric_spec_respects_minimum(self):
+        spec = NumericAttributeSpec(median=1.0, spread=2.0, minimum=5.0)
+        rng = random.Random(2)
+        assert all(spec.generate(rng) >= 5.0 for _ in range(50))
+
+    def test_numeric_spec_integer_mode(self):
+        spec = NumericAttributeSpec(median=100.0, integer=True)
+        value = spec.generate(random.Random(3))
+        assert value == int(value)
+
+    def test_workload_validates_placement(self):
+        api = ApiSpec(name="a", root=CallSpec(service="ghost", operation="op"))
+        with pytest.raises(ValueError):
+            Workload(name="w", apis=[api], service_nodes={})
+
+    def test_workload_requires_apis(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", apis=[], service_nodes={})
+
+    def test_call_spec_walk_and_depth(self):
+        leaf = CallSpec(service="s2", operation="leaf")
+        root = CallSpec(service="s1", operation="root", children=[leaf])
+        assert [c.operation for c in root.walk()] == ["root", "leaf"]
+        assert root.depth() == 2
+
+
+class TestBenchmarkSystems:
+    def test_onlineboutique_shape(self):
+        wl = build_onlineboutique()
+        assert len(wl.services) == 10
+        assert len(wl.apis) == 5
+        assert len(wl.nodes) == 5
+
+    def test_trainticket_shape(self):
+        wl = build_trainticket()
+        assert len(wl.services) == 45
+        assert len(wl.apis) == 9
+        assert len(wl.nodes) == 12
+
+    @pytest.mark.parametrize("name", list(DATASET_SPECS))
+    def test_datasets_match_fig13(self, name):
+        spec = DATASET_SPECS[name]
+        wl = build_dataset(name)
+        assert len(wl.apis) == spec.api_number
+        depths = [api.root.depth() for api in wl.apis]
+        assert max(depths) >= spec.average_depth - 1
+
+    @pytest.mark.parametrize("name", list(SUBSERVICE_SPECS))
+    def test_subservices_buildable(self, name):
+        wl = build_subservice(name)
+        assert len(wl.apis) == SUBSERVICE_SPECS[name].api_number
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            build_dataset("Z")
+        with pytest.raises(KeyError):
+            build_subservice("S9")
+
+
+class TestTraceGenerator:
+    def test_deterministic(self):
+        wl = build_onlineboutique()
+        a = TraceGenerator(wl, seed=5).generate(wl.apis[0])
+        b = TraceGenerator(wl, seed=5).generate(wl.apis[0])
+        assert a.trace_id == b.trace_id
+        assert [s.attributes for s in a.spans] == [s.attributes for s in b.spans]
+
+    def test_tree_well_formed(self):
+        wl = build_onlineboutique()
+        trace = TraceGenerator(wl, seed=6).generate(wl.api_by_name("checkout"))
+        ids = {s.span_id for s in trace.spans}
+        roots = [s for s in trace.spans if s.parent_id is None]
+        assert len(roots) == 1
+        for span in trace.spans:
+            assert span.parent_id is None or span.parent_id in ids
+
+    def test_cross_node_calls_have_client_spans(self):
+        wl = build_onlineboutique()
+        trace = TraceGenerator(wl, seed=7).generate(wl.api_by_name("home"))
+        clients = [s for s in trace.spans if s.kind is SpanKind.CLIENT]
+        assert clients
+        for client in clients:
+            assert "peer.service" in client.attributes
+            # The client span sits on the caller's node.
+            server = next(
+                s for s in trace.spans if s.parent_id == client.span_id
+            )
+            assert server.node != client.node
+
+    def test_every_span_has_resource_block(self):
+        wl = build_onlineboutique()
+        trace = TraceGenerator(wl, seed=8).generate(wl.apis[0])
+        for span in trace.spans:
+            assert "otel.resource" in span.attributes
+
+    def test_durations_nest(self):
+        wl = build_onlineboutique()
+        trace = TraceGenerator(wl, seed=9).generate(wl.api_by_name("home"))
+        by_id = {s.span_id: s for s in trace.spans}
+        for span in trace.spans:
+            if span.parent_id and span.parent_id in by_id:
+                assert by_id[span.parent_id].duration >= span.duration * 0.99
+
+
+class TestAttributeClusterability:
+    """The workload design contract: same-operation values must clear
+    the paper's 0.8 LCS threshold so they cluster into one template."""
+
+    @pytest.mark.parametrize(
+        "builder", [build_onlineboutique, build_trainticket, lambda: build_dataset("A")]
+    )
+    def test_same_slot_values_similar(self, builder):
+        wl = builder()
+        rng = random.Random(0)
+        for api in wl.apis[:3]:
+            for call in api.root.walk():
+                for key, spec in call.attributes.items():
+                    if not isinstance(spec, StringAttributeSpec) or not spec.slots:
+                        continue
+                    a = word_tokens(tokenize(spec.generate(rng)))
+                    b = word_tokens(tokenize(spec.generate(rng)))
+                    assert token_similarity(a, b) >= 0.8, (api.name, key)
+
+
+class TestDriver:
+    def test_trace_count_and_timing(self):
+        wl = build_onlineboutique()
+        driver = WorkloadDriver(wl, seed=1, requests_per_minute=600)
+        stream = list(driver.traces(10))
+        assert len(stream) == 10
+        times = [now for now, _ in stream]
+        assert times == sorted(times)
+        assert times[1] - times[0] == pytest.approx(0.1)
+
+    def test_api_mix_follows_weights(self):
+        wl = build_onlineboutique()
+        driver = WorkloadDriver(wl, seed=2)
+        names = []
+        for _, trace in driver.traces(500):
+            names.append(trace.root.name)
+        # 'home' (weight .35) must dominate 'set_currency' (weight .05).
+        assert names.count("GET /") > names.count("POST /setCurrency")
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadDriver(build_onlineboutique(), requests_per_minute=0)

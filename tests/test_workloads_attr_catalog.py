@@ -1,0 +1,72 @@
+"""Unit tests for the shared attribute catalog."""
+
+import random
+
+import pytest
+
+from repro.parsing.clustering import cluster_strings
+from repro.workloads import attr_catalog as cat
+from repro.workloads.specs import NumericAttributeSpec, StringAttributeSpec
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(99)
+
+
+ALL_STRING_SPECS = [
+    ("sql_select", cat.sql_select("orders", ["id", "status"], "id")),
+    ("sql_insert", cat.sql_insert("orders", ["id", "user_id"])),
+    ("sql_update", cat.sql_update("orders", "status", "id")),
+    ("http_url", cat.http_url("shop", "orders")),
+    ("grpc_method", cat.grpc_method("pkg", "Svc", "Do")),
+    ("thread_name", cat.thread_name("8080")),
+    ("cache_key", cat.cache_key("ns", "entity")),
+    ("mq_topic", cat.mq_topic("domain")),
+    ("user_agent", cat.user_agent()),
+    ("currency_amount", cat.currency_amount()),
+    ("request_context", cat.request_context("svc")),
+    ("consumer_group", cat.consumer_group("domain")),
+]
+
+
+class TestStringSpecs:
+    @pytest.mark.parametrize("name,spec", ALL_STRING_SPECS)
+    def test_generates_nonempty(self, name, spec, rng):
+        value = spec.generate(rng)
+        assert value
+        assert "{" not in value and "}" not in value, name
+
+    @pytest.mark.parametrize("name,spec", ALL_STRING_SPECS)
+    def test_values_cluster_at_paper_threshold(self, name, spec, rng):
+        """The workload design contract: same-spec values form ONE
+        cluster at the paper's default 0.8 threshold."""
+        values = [spec.generate(rng) for _ in range(12)]
+        clusters = cluster_strings(values, threshold=0.8)
+        assert len(clusters) == 1, (name, [c.members[:1] for c in clusters])
+
+    def test_sql_text_is_verbose(self, rng):
+        # Production SQL carries far more constant text than variables.
+        value = cat.sql_select("t", ["a", "b", "c"], "a").generate(rng)
+        assert len(value) > 250
+
+    def test_context_blob_is_verbose(self, rng):
+        assert len(cat.request_context("svc").generate(rng)) > 400
+
+
+class TestNumericSpecs:
+    def test_payload_bytes_integer_and_bounded(self, rng):
+        spec = cat.payload_bytes(1024.0)
+        for _ in range(100):
+            value = spec.generate(rng)
+            assert value >= 64.0
+            assert value == int(value)
+
+    def test_db_rows_nonnegative(self, rng):
+        spec = cat.db_rows()
+        assert all(spec.generate(rng) >= 0 for _ in range(100))
+
+    def test_retry_count_mostly_small(self, rng):
+        spec = cat.retry_count()
+        values = [spec.generate(rng) for _ in range(200)]
+        assert sum(1 for v in values if v <= 2) > 150
