@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Ingest throughput benchmark entry point.
+
+Measures warm-pattern agent ingest (spans/sec, p50/p99 per-trace
+latency) over the OnlineBoutique, TrainTicket and Alibaba workloads,
+re-measures the same streams under the seed implementation
+(:mod:`seed_reference`), and writes a machine-readable
+``BENCH_ingest.json`` next to this file so successive PRs can track the
+trajectory.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_bench.py            # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --check    # regression gate
+    PYTHONPATH=src python benchmarks/perf/run_bench.py --traces 800 --quick
+
+``--check`` exits non-zero when the fast path fails the gate: warm
+ingest must stay at least ``--min-speedup`` (default 3.0) times the
+seed implementation's spans/sec on every workload, and the incremental
+byte estimator must agree with the JSON ruler on every measured record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from ingest_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    WORKLOAD_BUILDERS,
+    WORKLOAD_SCALE,
+    build_traces,
+    measure_ingest,
+    measure_ingest_pair,
+)
+from seed_reference import seed_mode, seed_params_size_bytes  # noqa: E402
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_ingest.json")
+
+
+def verify_byte_invariant(traces) -> int:
+    """Assert the fast sizer matches the JSON ruler span by span.
+
+    Returns the number of records checked; raises AssertionError on the
+    first divergence (the fast estimator must be an optimisation of the
+    byte ruler, never a re-definition of it).
+    """
+    from repro.agent.agent import MintAgent
+
+    agent_by_node: dict[str, MintAgent] = {}
+    checked = 0
+    for trace in traces:
+        for sub_trace in trace.sub_traces():
+            agent = agent_by_node.get(sub_trace.node)
+            if agent is None:
+                agent = MintAgent(node=sub_trace.node)
+                agent_by_node[sub_trace.node] = agent
+            result = agent.ingest(sub_trace)
+            assert result.parsed is not None
+            for span in result.parsed.parsed_spans:
+                fast = span.params_size_bytes()
+                ruler = seed_params_size_bytes(span)
+                if fast != ruler:
+                    raise AssertionError(
+                        f"byte-accounting invariant broken for span "
+                        f"{span.span_id}: fast={fast} ruler={ruler}"
+                    )
+                checked += 1
+    return checked
+
+
+def run(
+    num_traces: int | None,
+    warmup_traces: int | None,
+    workloads: list[str],
+    with_baseline: bool = True,
+) -> dict:
+    """Measure every workload fast and (optionally) under seed mode.
+
+    ``num_traces``/``warmup_traces`` of None use each workload's scale
+    from :data:`WORKLOAD_SCALE` (warm-up must outlast vocabulary
+    convergence, which differs per workload).
+    """
+    report: dict = {
+        "benchmark": "ingest",
+        "units": {
+            "spans_per_sec": "spans ingested per wall-clock second (warm patterns, batched)",
+            "p50_ms/p99_ms": "per-trace agent ingest latency percentiles, milliseconds",
+        },
+        "config": {
+            "traces": num_traces or "per-workload",
+            "warmup_traces": warmup_traces or "per-workload",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+        "baseline_seed": {},
+        "speedup_spans_per_sec": {},
+    }
+    for name in workloads:
+        default_total, default_warm = WORKLOAD_SCALE.get(
+            name, (DEFAULT_TRACES, DEFAULT_WARMUP_TRACES)
+        )
+        total = num_traces or default_total
+        warm = warmup_traces or default_warm
+        traces = build_traces(name, total)
+        if with_baseline:
+            fast, seed = measure_ingest_pair(
+                name, seed_mode, traces=traces, warmup_traces=warm
+            )
+        else:
+            fast = measure_ingest(name, traces=traces, warmup_traces=warm)
+            seed = None
+        report["workloads"][name] = fast.as_dict()
+        line = (
+            f"{name:16s} fast: {fast.spans_per_sec:>10.0f} spans/s  "
+            f"p50 {fast.p50_ms:7.3f} ms  p99 {fast.p99_ms:7.3f} ms"
+        )
+        if seed is not None:
+            report["baseline_seed"][name] = seed.as_dict()
+            speedup = (
+                fast.spans_per_sec / seed.spans_per_sec if seed.spans_per_sec else 0.0
+            )
+            report["speedup_spans_per_sec"][name] = round(speedup, 2)
+            line += (
+                f"  | seed: {seed.spans_per_sec:>10.0f} spans/s"
+                f"  speedup {speedup:5.2f}x"
+            )
+        print(line)
+    if with_baseline and report["speedup_spans_per_sec"]:
+        speedups = report["speedup_spans_per_sec"].values()
+        report["min_speedup"] = round(min(speedups), 2)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--traces", type=int, default=None, help="override per-workload trace count"
+    )
+    parser.add_argument(
+        "--warmup-traces", type=int, default=None, help="override per-workload warm-up"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_BUILDERS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the seed-mode baseline re-measurement",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: exit 1 unless speedup >= --min-speedup on "
+        "every workload and the byte-accounting invariant holds",
+    )
+    parser.add_argument("--min-speedup", type=float, default=3.0)
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        with_baseline=not args.quick,
+    )
+
+    failures: list[str] = []
+    if args.check:
+        checked = verify_byte_invariant(build_traces(args.workloads[0], 60))
+        report["byte_invariant_records_checked"] = checked
+        print(f"byte-accounting invariant: {checked} records checked, all exact")
+        if args.quick:
+            failures.append("--check requires the seed baseline (drop --quick)")
+        for name, speedup in report.get("speedup_spans_per_sec", {}).items():
+            if speedup < args.min_speedup:
+                failures.append(
+                    f"{name}: speedup {speedup:.2f}x < required {args.min_speedup:.2f}x"
+                )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

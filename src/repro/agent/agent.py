@@ -34,6 +34,10 @@ class IngestResult:
     parsed: ParsedSubTrace | None = None
 
 
+def _parsed_span_order(parsed) -> tuple[float, str]:
+    return (parsed.start_time, parsed.span_id)
+
+
 class MintAgent:
     """One Mint agent instance, owning the per-node state."""
 
@@ -91,6 +95,25 @@ class MintAgent:
 
     def ingest(self, sub_trace: SubTrace) -> IngestResult:
         """Process one sub-trace through the full agent pipeline."""
+        return self._ingest_one(sub_trace, self.span_parser.parse)
+
+    def ingest_many(self, sub_traces: Iterable[SubTrace]) -> list[IngestResult]:
+        """Batch ingest: identical results to looped :meth:`ingest`.
+
+        One pipeline setup (bound-method and buffer lookups) is paid per
+        batch instead of per sub-trace; the per-span costs then ride the
+        parser's interning and value caches, which a batch of warm
+        traffic hits almost exclusively.
+        """
+        parse = self.span_parser.parse
+        ingest_one = self._ingest_one
+        return [ingest_one(sub_trace, parse) for sub_trace in sub_traces]
+
+    def _ingest_one(
+        self,
+        sub_trace: SubTrace,
+        parse: Callable[..., object],
+    ) -> IngestResult:
         if sub_trace.node != self.node:
             raise ValueError(
                 f"sub-trace for node {sub_trace.node!r} sent to agent {self.node!r}"
@@ -98,46 +121,74 @@ class MintAgent:
         # Ranges are observed only after the sampling decision (below):
         # a symptomatic trace's outlier values are uploaded exactly and
         # must not distort the pattern's common-case display ranges.
-        parsed_spans = {
-            span.span_id: self.span_parser.parse(span, observe_ranges=False)
-            for span in sub_trace
-        }
+        spans = sub_trace.spans
+        if len(spans) == 1:
+            only = parse(spans[0], observe_ranges=False)
+            parsed_spans = {spans[0].span_id: only}
+            ordered = [only]
+        else:
+            parsed_spans = {
+                span.span_id: parse(span, observe_ranges=False) for span in spans
+            }
+            ordered = sorted(parsed_spans.values(), key=_parsed_span_order)
         topo_pattern = extract_topo_pattern(sub_trace, parsed_spans)
         pattern_id = self.mounted_library.register_and_mount(
             topo_pattern, sub_trace.trace_id
         )
-        parsed = ParsedSubTrace(
-            trace_id=sub_trace.trace_id,
-            node=sub_trace.node,
-            topo_pattern_id=pattern_id,
-            parsed_spans=sorted(
-                parsed_spans.values(), key=lambda p: (p.start_time, p.span_id)
-            ),
-        )
+        # Direct construction: one ParsedSubTrace per sub-trace on the
+        # hot path; the dataclass __init__ shows up in profiles.  Field
+        # semantics (repr/eq) are untouched.
+        parsed = ParsedSubTrace.__new__(ParsedSubTrace)
+        parsed.__dict__ = {
+            "trace_id": sub_trace.trace_id,
+            "node": sub_trace.node,
+            "topo_pattern_id": pattern_id,
+            "parsed_spans": ordered,
+        }
+        buffer_add = self.params_buffer.add
         for span in parsed.parsed_spans:
-            self.params_buffer.add(span)
-        fired: list[str] = []
+            buffer_add(span)
+        fired: list[str] | None = None
         if self.symptom_sampler.observe(sub_trace, parsed):
-            fired.append("symptom")
+            fired = ["symptom"]
         if self.edge_case_sampler.observe(sub_trace, parsed):
-            fired.append("edge-case")
+            if fired is None:
+                fired = ["edge-case"]
+            else:
+                fired.append("edge-case")
         for sampler in self.extra_samplers:
             if sampler.observe(sub_trace, parsed):
-                fired.append(type(sampler).__name__)
-        if not fired:
+                if fired is None:
+                    fired = [type(sampler).__name__]
+                else:
+                    fired.append(type(sampler).__name__)
+        if fired is None:
             library = self.span_parser.library
+            observe = library.observe_numeric
             for span in parsed.parsed_spans:
-                for key, param in span.params.items():
-                    if not isinstance(param, list):
-                        library.observe_numeric(span.pattern_id, key, float(param))
-        return IngestResult(
-            trace_id=sub_trace.trace_id,
-            node=self.node,
-            topo_pattern_id=pattern_id,
-            sampled=bool(fired),
-            fired_samplers=fired,
-            parsed=parsed,
-        )
+                span_params = span.params
+                size_plan = span.__dict__.get("_size_plan")
+                if size_plan is not None:
+                    # Replayed span: the plan's variable spec already
+                    # names exactly the numeric parameters.
+                    span_pattern_id = span.pattern_id
+                    for key, is_list in size_plan[1]:
+                        if not is_list:
+                            observe(span_pattern_id, key, span_params[key])
+                else:
+                    for key, param in span_params.items():
+                        if not isinstance(param, list):
+                            observe(span.pattern_id, key, float(param))
+        result = IngestResult.__new__(IngestResult)
+        result.__dict__ = {
+            "trace_id": sub_trace.trace_id,
+            "node": self.node,
+            "topo_pattern_id": pattern_id,
+            "sampled": fired is not None,
+            "fired_samplers": fired if fired is not None else [],
+            "parsed": parsed,
+        }
+        return result
 
     def reconstruct_patterns(self) -> None:
         """The paper's 'reconstruct interface' (Section 4.1).
@@ -148,10 +199,7 @@ class MintAgent:
         fresh ones (subsequent traffic re-warms them); Bloom filters are
         drained first so already-mounted metadata is not lost.
         """
-        drained = self.mounted_library.drain_active_filters()
-        if self.mounted_library._on_flush is not None:
-            for flushed in drained:
-                self.mounted_library._on_flush(flushed)
+        self.mounted_library.drain_and_notify()
         self.span_parser = SpanParser(
             similarity_threshold=self.config.similarity_threshold,
             alpha=self.config.alpha,
@@ -161,7 +209,7 @@ class MintAgent:
             node=self.node,
             bloom_buffer_bytes=self.config.bloom_buffer_bytes,
             bloom_fpp=self.config.bloom_fpp,
-            on_flush=self.mounted_library._on_flush,
+            on_flush=self.mounted_library.flush_callback,
             library=self.trace_parser.library,
         )
         self.edge_case_sampler = EdgeCaseSampler(

@@ -38,7 +38,7 @@ class MintCollector:
         self._uploaded_blocks: set[tuple[str, int]] = set()
         self._last_pattern_report: float | None = None
         # Bloom filters flush straight through the agent callback.
-        agent.mounted_library._on_flush = self._send_bloom
+        agent.mounted_library.flush_callback = self._send_bloom
 
     @property
     def node(self) -> str:

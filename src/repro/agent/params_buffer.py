@@ -75,8 +75,14 @@ class ParamsBuffer:
         if block is None:
             block = ParamsBlock(trace_id=parsed.trace_id)
             self._blocks[parsed.trace_id] = block
-        self._used_bytes += block.add(parsed)
-        self._evict_until_fits()
+        # Inlined ParamsBlock.add: this runs once per ingested span.
+        added = parsed.params_size_bytes()
+        block.spans.append(parsed)
+        block.size_bytes += added
+        used = self._used_bytes + added
+        self._used_bytes = used
+        if used > self.capacity_bytes:
+            self._evict_until_fits()
 
     def get(self, trace_id: str) -> ParamsBlock | None:
         """Block for ``trace_id``, or None when absent/evicted."""

@@ -53,6 +53,15 @@ class MountedTopoLibrary:
         """Filters reported-and-reset since construction."""
         return self._flushed_count
 
+    @property
+    def flush_callback(self) -> Callable[[FlushedBloom], None] | None:
+        """The callback receiving full (or drained) filters, if any."""
+        return self._on_flush
+
+    @flush_callback.setter
+    def flush_callback(self, callback: Callable[[FlushedBloom], None] | None) -> None:
+        self._on_flush = callback
+
     def register_and_mount(self, pattern: TopoPattern, trace_id: str) -> str:
         """Register ``pattern`` (exact match or insert) and mount the
         trace's metadata on its Bloom filter."""
@@ -95,6 +104,16 @@ class MountedTopoLibrary:
                 )
             )
             self._filters[pattern_id] = self._new_filter()
+        return drained
+
+    def drain_and_notify(self) -> list[FlushedBloom]:
+        """Drain every non-empty active filter and hand each to the
+        flush callback (when set), so mounted metadata is reported
+        rather than lost — the rebuild/shutdown path."""
+        drained = self.drain_active_filters()
+        if self._on_flush is not None:
+            for flushed in drained:
+                self._on_flush(flushed)
         return drained
 
     def _new_filter(self) -> BloomFilter:

@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import random
 import re
+from bisect import bisect_left, insort
 from collections import deque
 from typing import Callable, Protocol
 
 from repro.model.trace import SubTrace
+from repro.parsing.span_parser import DURATION_KEY
 from repro.parsing.trace_parser import ParsedSubTrace, TopoPatternLibrary
 
 
@@ -56,8 +58,6 @@ class SymptomSampler:
         explicitly wrapped in a tuple-free call site to widen it."""
         if not 0.0 < percentile < 100.0:
             raise ValueError("percentile must be in (0, 100)")
-        from repro.parsing.span_parser import DURATION_KEY
-
         self.percentile = percentile
         self.min_observations = min_observations
         self.numeric_keys = (
@@ -68,21 +68,60 @@ class SymptomSampler:
             re.compile(rf"(?<![0-9a-z]){re.escape(w.lower())}(?![0-9a-z])")
             for w in abnormal_words
         ]
-        self._windows: dict[str, deque[float]] = {}
+        # One alternation regex answers "any abnormal word present?" in a
+        # single C-level scan; matches iff some per-word pattern matches.
+        self._word_regex = (
+            re.compile(
+                r"(?<![0-9a-z])(?:"
+                + "|".join(re.escape(w.lower()) for w in abnormal_words)
+                + r")(?![0-9a-z])"
+            )
+            if abnormal_words
+            else None
+        )
+        self._windows: dict = {}
+        # Window state per key: [deque, sorted mirror, running sum].
+        # The sorted mirror makes the percentile a single index instead
+        # of a per-observation sort; the running sum makes the mean one
+        # division.  The running sum equals the freshly-computed sum
+        # exactly until the window first wraps; after that it can
+        # differ in the last ulp, which is billions of times smaller
+        # than any outlier margin.
+        self._window_state: dict = {}
         self._window_size = window
 
     def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
         sampled = False
+        check_words = self._word_regex is not None
+        numeric_keys = self.numeric_keys
+        duration_only = numeric_keys == (DURATION_KEY,)
         for span in parsed.parsed_spans:
-            for key, param in span.params.items():
-                if isinstance(param, list):
-                    if self._has_abnormal_word(param):
+            params = span.params
+            # Replayed spans carry the exact set of list-valued params;
+            # the scan then touches only the params that can matter.
+            list_keys = (
+                span.__dict__.get("_param_lists") if duration_only else None
+            )
+            if list_keys is not None:
+                if check_words:
+                    for key in list_keys:
+                        parts = params[key]
+                        if parts and self._has_abnormal_word(parts):
+                            sampled = True
+                if self._is_numeric_outlier(
+                    (span.pattern_id, DURATION_KEY), params[DURATION_KEY]
+                ):
+                    sampled = True
+                continue
+            for key, param in params.items():
+                if param.__class__ is list:
+                    if check_words and param and self._has_abnormal_word(param):
                         sampled = True
-                elif key in self.numeric_keys and self._is_numeric_outlier(
+                elif key in numeric_keys and self._is_numeric_outlier(
                     # Windows are kept per (pattern, key): "unusually
                     # large" only makes sense against spans doing the
                     # same unit of work, not a mixed population.
-                    f"{span.pattern_id}:{key}",
+                    (span.pattern_id, key),
                     float(param),
                 ):
                     sampled = True
@@ -91,31 +130,51 @@ class SymptomSampler:
     def _has_abnormal_word(self, parts: list[str]) -> bool:
         """Word-boundary match so random hex ids containing e.g. '500'
         as a substring do not trip the sampler."""
+        regex = self._word_regex
+        if regex is None:
+            return False
+        search = regex.search
         for part in parts:
-            lowered = part.lower()
-            for pattern in self._word_patterns:
-                if pattern.search(lowered):
-                    return True
+            if part and search(part.lower()):
+                return True
         return False
 
-    def _is_numeric_outlier(self, key: str, value: float) -> bool:
+    def _is_numeric_outlier(self, key: tuple[str, str] | str, value: float) -> bool:
         """True for genuinely anomalous values.
 
         Beyond the paper's P95 rule, the value must also exceed twice
         the window mean — under steady load roughly 5 % of values sit
         above P95 by construction, and marking all of them would sample
         far more than the anomalous traffic the rule is after.
+
+        The window keeps a sorted mirror so the percentile threshold is
+        one list index per observation; decisions are identical to
+        re-sorting the window every time (same multiset, same
+        nearest-rank formula, same freshly-summed mean).
         """
-        window = self._windows.get(key)
-        if window is None:
-            window = deque(maxlen=self._window_size)
+        state = self._window_state.get(key)
+        if state is None:
+            window: deque[float] = deque()
+            state = [window, [], 0.0]
+            self._window_state[key] = state
             self._windows[key] = window
+            ordered: list[float] = state[1]
+        else:
+            window, ordered, _ = state
+        count = len(window)
         outlier = False
-        if len(window) >= self.min_observations:
-            threshold = _percentile(list(window), self.percentile)
-            mean = sum(window) / len(window)
+        if count >= self.min_observations:
+            rank = max(0, min(count - 1, int(round(self.percentile / 100.0 * count)) - 1))
+            threshold = ordered[rank]
+            mean = state[2] / count
             outlier = value > threshold and value > 2.0 * mean
+        if count == self._window_size:
+            oldest = window.popleft()
+            del ordered[bisect_left(ordered, oldest)]
+            state[2] -= oldest
         window.append(value)
+        insort(ordered, value)
+        state[2] += value
         return outlier
 
 
@@ -161,8 +220,7 @@ class EdgeCaseSampler:
         return min(1.0, boosted)
 
     def observe(self, sub_trace: SubTrace, parsed: ParsedSubTrace) -> bool:
-        probability = self.sampling_probability(parsed.topo_pattern_id)
-        return self._rng.random() < probability
+        return self._rng.random() < self.sampling_probability(parsed.topo_pattern_id)
 
 
 class HeadSampler:

@@ -34,8 +34,19 @@ def optimal_hash_count(bit_count: int, expected_insertions: int) -> int:
     return max(1, int(round(k)))
 
 
+# Per-bit masks indexed by (position & 7): probing touches these on
+# every insert/lookup, so they are built once instead of shifted inline.
+_BIT_MASKS = tuple(1 << i for i in range(8))
+
+
 def _digest_pair(item: str) -> tuple[int, int]:
-    digest = hashlib.sha256(item.encode("utf-8")).digest()
+    """Two independent 64-bit hashes from a single blake2b digest.
+
+    One 16-byte blake2b call is cheaper than sha256 and yields both
+    double-hashing seeds at once — this sits in the per-sub-trace hot
+    path of every agent.
+    """
+    digest = hashlib.blake2b(item.encode("utf-8"), digest_size=16).digest()
     return (
         int.from_bytes(digest[:8], "big"),
         int.from_bytes(digest[8:16], "big"),
@@ -76,14 +87,33 @@ class BloomFilter:
 
     def add(self, item: str) -> None:
         """Insert ``item``; afterwards ``item in self`` is always True."""
-        for pos in self._positions(item):
-            self._bits[pos // 8] |= 1 << (pos % 8)
+        h1, h2 = _digest_pair(item)
+        bits = self._bits
+        masks = _BIT_MASKS
+        m = self.bit_count
+        pos = h1 % m
+        step = h2 % m
+        for _ in range(self.hash_count):
+            bits[pos >> 3] |= masks[pos & 7]
+            pos += step
+            if pos >= m:
+                pos -= m
         self._inserted += 1
 
     def __contains__(self, item: str) -> bool:
-        return all(
-            self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._positions(item)
-        )
+        h1, h2 = _digest_pair(item)
+        bits = self._bits
+        masks = _BIT_MASKS
+        m = self.bit_count
+        pos = h1 % m
+        step = h2 % m
+        for _ in range(self.hash_count):
+            if not bits[pos >> 3] & masks[pos & 7]:
+                return False
+            pos += step
+            if pos >= m:
+                pos -= m
+        return True
 
     @property
     def is_full(self) -> bool:
@@ -102,7 +132,7 @@ class BloomFilter:
     @property
     def saturation(self) -> float:
         """Fraction of bits set — a health signal for fpp drift."""
-        set_bits = sum(bin(b).count("1") for b in self._bits)
+        set_bits = int.from_bytes(self._bits, "big").bit_count()
         return set_bits / self.bit_count
 
     def estimated_fpp(self) -> float:
@@ -153,11 +183,11 @@ def sized_for_bytes(
     Works backwards from the bit budget to the insertion capacity at the
     requested fpp.
     """
-    bit_count = buffer_bytes * 8
-    capacity = int(bit_count * (math.log(2) ** 2) / -math.log(false_positive_probability))
-    capacity = max(1, capacity)
-    filt = BloomFilter(capacity, false_positive_probability)
-    while filt.size_bytes > buffer_bytes and capacity > 1:
-        capacity -= max(1, capacity // 100)
-        filt = BloomFilter(capacity, false_positive_probability)
-    return filt
+    bit_budget = buffer_bytes * 8
+    bits_per_item = -math.log(false_positive_probability) / (math.log(2) ** 2)
+    # Closed form: capacity = floor(budget / bits_per_item) guarantees
+    # ceil(capacity * bits_per_item) <= bit_budget, so the filter always
+    # fits the byte budget (down to the 8-bit floor at degenerate
+    # budgets) — no trial-construction shrink loop needed.
+    capacity = max(1, int(bit_budget / bits_per_item))
+    return BloomFilter(capacity, false_positive_probability)

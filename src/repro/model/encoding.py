@@ -11,6 +11,8 @@ framework in the comparison is charged with the same ruler.
 from __future__ import annotations
 
 import json
+import math
+import re
 from typing import Any
 
 from repro.model.span import Span, SpanKind, SpanStatus
@@ -89,3 +91,81 @@ def encoded_size(obj: Any) -> int:
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
     return len(json.dumps(obj, separators=(",", ":"), default=str).encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Incremental size estimation (byte-identical to the JSON ruler)
+# ----------------------------------------------------------------------
+# The agent sizes every span's parameter record on ingest; rendering the
+# full JSON text just to take its length dominates that path.  The
+# helpers below compute the exact length json.dumps would produce
+# without materialising the string.  They are an optimisation of the
+# ruler, not a new ruler: `fast_encoded_size(x) == encoded_size(x)` for
+# every JSON-serialisable value (enforced by tests).
+
+# Characters that stop a string being "length + 2 quotes": anything
+# json.dumps escapes (backslash, double quote, control chars) or
+# non-ASCII (escaped to \uXXXX under the default ensure_ascii=True).
+# Public so size-critical callers can inline the plain-string test.
+JSON_ESCAPE_RE = re.compile(r'[^ -~]|["\\]')
+_NEEDS_ESCAPE = JSON_ESCAPE_RE
+
+
+def json_string_size(value: str) -> int:
+    """Exact byte length of ``json.dumps(value)``."""
+    if _NEEDS_ESCAPE.search(value) is None:
+        return len(value) + 2
+    return len(json.dumps(value))
+
+
+def json_number_size(value: float) -> int:
+    """Exact byte length of a JSON-encoded int or float."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return len(json.dumps(value))  # NaN / Infinity spellings
+    return len(repr(value))
+
+
+def json_value_size(obj: Any) -> int:
+    """Exact byte length of ``json.dumps(obj, separators=(",", ":"),
+    default=str)`` — the size of ``obj`` as a *JSON value* (a string here
+    is sized as its quoted, escaped JSON form)."""
+    if obj is None:
+        return 4
+    cls = obj.__class__
+    if cls is str:
+        return json_string_size(obj)
+    if cls is float or cls is int:
+        return json_number_size(obj)
+    if cls is bool:
+        return 4 if obj else 5
+    if cls is list or cls is tuple:
+        if not obj:
+            return 2
+        return 1 + len(obj) + sum(json_value_size(item) for item in obj)
+    if cls is dict:
+        if not obj:
+            return 2
+        size = 1 + len(obj)  # open brace + one ,/} per entry
+        for key, value in obj.items():
+            if key.__class__ is not str:
+                break  # json coerces exotic keys; use the real encoder
+            size += json_string_size(key) + 1 + json_value_size(value)
+        else:
+            return size
+    return len(json.dumps(obj, separators=(",", ":"), default=str))
+
+
+def fast_encoded_size(obj: Any) -> int:
+    """Exact :func:`encoded_size` of ``obj``, computed without rendering
+    the encoded text where possible.
+
+    Mirrors :func:`encoded_size`'s dispatch (bare strings and bytes are
+    raw payloads, everything else is JSON) and falls back to the real
+    encoder for anything outside the plain JSON types, so the result is
+    byte-identical to :func:`encoded_size` by construction.
+    """
+    if isinstance(obj, str):
+        return len(obj) if obj.isascii() else len(obj.encode("utf-8"))
+    if isinstance(obj, (Span, Trace, bytes)):
+        return encoded_size(obj)
+    return json_value_size(obj)

@@ -15,8 +15,7 @@ one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, NamedTuple, Union
 
 from repro.parsing.clustering import StringCluster, cluster_strings
 from repro.parsing.lcs import token_similarity
@@ -32,12 +31,14 @@ _REPRESENTATIVES_PER_TEMPLATE = 5
 ParamValue = Union[list[str], float]
 
 
-@dataclass(frozen=True)
-class ParsedAttribute:
+class ParsedAttribute(NamedTuple):
     """Result of parsing one attribute value.
 
     ``pattern`` is the common part (template text or bucket label) and
     ``param`` the variable part (wildcard fills or numeric offset).
+    A NamedTuple rather than a dataclass: one is built per parsed
+    attribute on the ingest hot path, and tuple construction is several
+    times cheaper than a frozen dataclass ``__init__``.
     """
 
     key: str
@@ -61,8 +62,19 @@ class StringAttributeParser:
         self.similarity_threshold = similarity_threshold
         self._tree = TemplatePrefixTree()
         self._representatives: dict[StringTemplate, list[str]] = {}
-        self._value_cache: dict[str, StringTemplate] = {}
-        self._hit_counts: dict[StringTemplate, int] = {}
+        # Exact value -> (parsed result, template).  Caching the parsed
+        # result (not just the template) lets repeated values skip the
+        # regex extraction entirely; the ParsedAttribute is immutable
+        # and its params list is never mutated by consumers.
+        self._value_cache: dict[str, tuple[ParsedAttribute, StringTemplate]] = {}
+        # Hit counts as single-element mutable cells: a bump is a C-level
+        # ``cell[0] += 1`` with no template hashing on the hot path.
+        self._hit_counts: dict[StringTemplate, list[int]] = {}
+        # Top-K templates by hit count, maintained incrementally with
+        # the exact order of ``sorted(hit_counts, key=-count)`` (ties by
+        # first-hit order) so the hot path never re-sorts per miss.
+        self._hit_order: dict[StringTemplate, int] = {}
+        self._hot_ranked: list[StringTemplate] = []
 
     @property
     def templates(self) -> list[StringTemplate]:
@@ -103,16 +115,14 @@ class StringAttributeParser:
         everything must not swallow whole clauses as parameters), then
         the prefix-tree walk.
         """
-        template = self._value_cache.get(value)
-        params: list[str] | None = None
-        if template is not None:
-            params = template.extract(value)
-        if params is None:
-            template = self._hot_match(value)
-            if template is not None:
-                params = template.extract(value)
-                if params is not None and not self._acceptable_mass(value, params):
-                    template, params = None, None
+        cached = self._value_cache.get(value)
+        if cached is not None:
+            parsed, template = cached
+            self._record_hit(template)
+            return parsed
+        template, params = self._hot_match_extract(value)
+        if params is not None and not self._acceptable_mass(value, params):
+            template, params = None, None
         if params is None:
             tokens = tokenize(value)
             template = self._tree.find_match(value, tokens)
@@ -133,39 +143,95 @@ class StringAttributeParser:
         if params is None:  # pragma: no cover - matching guarantees extraction
             raise RuntimeError(f"template failed on {value!r}")
         assert template is not None
-        self._hit_counts[template] = self._hit_counts.get(template, 0) + 1
-        if len(self._value_cache) < self._VALUE_CACHE_CAP:
-            self._value_cache[value] = template
-        return ParsedAttribute(
+        self._record_hit(template)
+        parsed = ParsedAttribute(
             key=self.key, kind="string", pattern=template.text, param=params
         )
+        if len(self._value_cache) < self._VALUE_CACHE_CAP:
+            self._value_cache[value] = (parsed, template)
+        return parsed
 
     @classmethod
     def _acceptable_mass(cls, value: str, params: list[str]) -> bool:
         if not value:
             return True
-        mass = sum(len(p) for p in params)
+        mass = sum(map(len, params))
         return mass <= cls._HOT_PARAM_MASS_LIMIT * len(value)
 
-    def _hot_match(self, value: str) -> StringTemplate | None:
+    def _record_hit(self, template: StringTemplate) -> None:
+        """Bump ``template``'s hit count and restore the top-K order.
+
+        Maintains ``_hot_ranked`` as exactly the first ``_HOT_TEMPLATES``
+        entries of ``sorted(self._hit_counts.items(), key=-count)`` —
+        counts descending, ties broken by first-hit order, matching the
+        stable sort this replaced.  A bump moves one template at most a
+        few positions, so the amortised cost is O(K) dict lookups
+        instead of an O(n log n) sort per parsed value.
+        """
+        counts = self._hit_counts
+        ranked = self._hot_ranked
+        if ranked and ranked[0] is template:
+            # Already the hottest template: a bump cannot change the
+            # order, so skip the maintenance entirely (the warm-path
+            # common case).
+            counts[template][0] += 1
+            return
+        cell = counts.get(template)
+        if cell is None:
+            counts[template] = cell = [1]
+            count = 1
+            self._hit_order[template] = len(self._hit_order)
+        else:
+            cell[0] = count = cell[0] + 1
+        order = self._hit_order
+        try:
+            index = ranked.index(template)
+        except ValueError:
+            if len(ranked) < self._HOT_TEMPLATES:
+                ranked.append(template)
+                index = len(ranked) - 1
+            else:
+                last = ranked[-1]
+                last_count = counts[last][0]
+                if count > last_count or (
+                    count == last_count and order[template] < order[last]
+                ):
+                    ranked[-1] = template
+                    index = len(ranked) - 1
+                else:
+                    return
+        seq = order[template]
+        while index > 0:
+            prev = ranked[index - 1]
+            prev_count = counts[prev][0]
+            if prev_count > count or (prev_count == count and order[prev] < seq):
+                break
+            ranked[index - 1], ranked[index] = template, prev
+            index -= 1
+
+    def _hot_match_extract(
+        self, value: str
+    ) -> tuple[StringTemplate | None, list[str] | None]:
         """Try the most frequently matched templates directly.
 
         Only templates with at least one wildcard are tried here: a
         fully-literal template matching means the value is identical,
-        which the value memo already covers.
+        which the value memo already covers.  Each candidate is probed
+        with a single regex pass that also yields the parameters, so the
+        winning template is never matched twice.
         """
-        ranked = sorted(
-            self._hit_counts.items(), key=lambda item: -item[1]
-        )[: self._HOT_TEMPLATES]
         best: StringTemplate | None = None
-        for template, _ in ranked:
-            if template.wildcard_count and template.matches(value):
-                if (
-                    best is None
-                    or template.literal_token_count > best.literal_token_count
-                ):
+        best_params: list[str] | None = None
+        for template in self._hot_ranked:
+            if template.wildcard_count and (
+                best is None
+                or template.literal_token_count > best.literal_token_count
+            ):
+                params = template.extract(value)
+                if params is not None:
                     best = template
-        return best
+                    best_params = params
+        return best, best_params
 
     def template_for_pattern(self, pattern: str) -> StringTemplate | None:
         """Look up a template object by its text (for reconstruction)."""

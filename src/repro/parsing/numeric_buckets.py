@@ -105,6 +105,10 @@ class NumericBucketer:
         self.alpha = alpha
         self.gamma = (1.0 + alpha) / (1.0 - alpha)
         self._log_gamma = math.log(self.gamma)
+        # Buckets are value objects fully determined by (index, sign);
+        # the hot ingest path maps millions of values onto a handful of
+        # indices, so construction is memoised.
+        self._bucket_cache: dict[tuple[int, bool], Bucket] = {}
 
     def index_of(self, value: float) -> int:
         """Bucket index for a positive magnitude, clamped at 0.
@@ -131,9 +135,14 @@ class NumericBucketer:
         negative = value < 0
         magnitude = abs(value)
         index = self.index_of(magnitude)
-        lower = 0.0 if index == 0 else self.gamma ** (index - 1)
-        upper = self.gamma**index
-        return Bucket(index=index, negative=negative, lower=lower, upper=upper)
+        key = (index, negative)
+        bucket = self._bucket_cache.get(key)
+        if bucket is None:
+            lower = 0.0 if index == 0 else self.gamma ** (index - 1)
+            upper = self.gamma**index
+            bucket = Bucket(index=index, negative=negative, lower=lower, upper=upper)
+            self._bucket_cache[key] = bucket
+        return bucket
 
     def bucket_by_index(self, index: int, negative: bool = False) -> Bucket:
         """Rebuild a bucket from its stored index (for decoding)."""

@@ -39,8 +39,20 @@ class StringTemplate:
             if token == WILDCARD and collapsed and collapsed[-1] == WILDCARD:
                 continue
             collapsed.append(token)
-        object.__setattr__(self, "tokens", tuple(collapsed))
+        tokens = tuple(collapsed)
+        object.__setattr__(self, "tokens", tokens)
         object.__setattr__(self, "_regex", self._compile())
+        # Templates are immutable and sit on the parse hot path as dict
+        # keys and ranking candidates: precompute what every lookup and
+        # hot-match probe would otherwise recount.
+        wildcards = tokens.count(WILDCARD)
+        object.__setattr__(self, "wildcard_count", wildcards)
+        object.__setattr__(self, "literal_token_count", len(tokens) - wildcards)
+        object.__setattr__(self, "text", detokenize(list(tokens)))
+        object.__setattr__(self, "_hash", hash(tokens))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def _compile(self) -> re.Pattern[str]:
         parts: list[str] = ["^"]
@@ -58,20 +70,14 @@ class StringTemplate:
         parts.append("$")
         return re.compile("".join(parts), re.DOTALL)
 
-    @property
-    def text(self) -> str:
-        """Human-readable template string, e.g. ``select * from <*>``."""
-        return detokenize(list(self.tokens))
+    # ``text`` (human-readable template string, e.g. ``select * from
+    # <*>``) is a precomputed instance attribute set in ``__post_init__``
+    # — it is attached to every parsed attribute, so recomputing it per
+    # parse would dominate novel-value parsing.
 
-    @property
-    def wildcard_count(self) -> int:
-        """Number of variable positions."""
-        return sum(1 for t in self.tokens if t == WILDCARD)
-
-    @property
-    def literal_token_count(self) -> int:
-        """Number of literal (non-wildcard) tokens — a specificity score."""
-        return len(self.tokens) - self.wildcard_count
+    # ``wildcard_count`` (number of variable positions) and
+    # ``literal_token_count`` (specificity score) are precomputed
+    # instance attributes, set in ``__post_init__``.
 
     def matches(self, value: str) -> bool:
         """True when ``value`` is in the language of this template."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Iterable
 
 from repro.model.encoding import encoded_size
@@ -38,11 +39,25 @@ class TopoPattern:
     entry_ops: tuple[tuple[str, str], ...]
     exit_ops: tuple[tuple[str, str], ...]
 
-    @property
+    @cached_property
     def pattern_id(self) -> str:
-        """Stable content-derived id (shared across agents and runs)."""
+        """Stable content-derived id (shared across agents and runs).
+
+        Computed once per pattern object; repeated topologies never
+        reach it because :meth:`TopoPatternLibrary.register` interns
+        patterns by structural equality first.
+        """
         digest = hashlib.sha1(repr(self).encode("utf-8")).hexdigest()
         return digest[:16]
+
+    def __hash__(self) -> int:
+        # Patterns are dict keys on the per-sub-trace hot path; hashing
+        # the nested tuples once per object (not per lookup) matters.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.roots, self.entry_ops, self.exit_ops))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def span_pattern_ids(self) -> tuple[str, ...]:
@@ -110,6 +125,10 @@ class TopoPatternLibrary:
     def __init__(self) -> None:
         self._patterns: dict[str, TopoPattern] = {}
         self._match_counts: dict[str, int] = {}
+        # Structural interning: repeated topologies resolve to their id
+        # by tuple hashing instead of a repr + SHA1 per sub-trace.
+        self._interned: dict[TopoPattern, str] = {}
+        self._total_matches = 0
 
     def __len__(self) -> int:
         return len(self._patterns)
@@ -119,10 +138,14 @@ class TopoPatternLibrary:
 
     def register(self, pattern: TopoPattern) -> str:
         """Exact-match lookup or insertion (paper: 'Matching or updating')."""
-        pattern_id = pattern.pattern_id
-        if pattern_id not in self._patterns:
-            self._patterns[pattern_id] = pattern
+        pattern_id = self._interned.get(pattern)
+        if pattern_id is None:
+            pattern_id = pattern.pattern_id
+            self._interned[pattern] = pattern_id
+            if pattern_id not in self._patterns:
+                self._patterns[pattern_id] = pattern
         self._match_counts[pattern_id] = self._match_counts.get(pattern_id, 0) + 1
+        self._total_matches += 1
         return pattern_id
 
     def get(self, pattern_id: str) -> TopoPattern:
@@ -134,8 +157,9 @@ class TopoPatternLibrary:
         return self._match_counts.get(pattern_id, 0)
 
     def total_matches(self) -> int:
-        """All sub-traces processed."""
-        return sum(self._match_counts.values())
+        """All sub-traces processed (running counter; the edge-case
+        sampler reads this per sub-trace, so it must not re-sum)."""
+        return self._total_matches
 
     def patterns(self) -> list[TopoPattern]:
         """All patterns in insertion order."""
@@ -171,6 +195,36 @@ class TraceParser:
         )
 
 
+# Sub-trace topologies repeat heavily under steady traffic; memoising
+# each subtree's repr string avoids re-rendering the same nested tuples
+# for every sub-trace's canonical child sort.  Bounded so a pathological
+# stream of novel topologies cannot grow it without limit.
+_NODE_REPR_CACHE: dict[TopoNode, str] = {}
+_NODE_REPR_CACHE_CAP = 1 << 16
+
+
+def _node_sort_key(node: TopoNode) -> str:
+    key = _NODE_REPR_CACHE.get(node)
+    if key is None:
+        key = repr(node)
+        if len(_NODE_REPR_CACHE) < _NODE_REPR_CACHE_CAP:
+            _NODE_REPR_CACHE[node] = key
+    return key
+
+
+def _span_order(span) -> tuple[float, str]:
+    """Deterministic span order (matches ``SubTrace.local_children``)."""
+    return (span.start_time, span.span_id)
+
+
+# Canonical sub-trace shape -> TopoPattern.  A topo pattern is fully
+# determined by each span's pattern id, its parent's position (or
+# absence) and its exit marker — never by timing or span ids — so the
+# built pattern can be reused across sub-traces, agents and runs.
+_TOPO_PATTERN_CACHE: dict[tuple, TopoPattern] = {}
+_TOPO_PATTERN_CACHE_CAP = 1 << 14
+
+
 def extract_topo_pattern(
     sub_trace: SubTrace, parsed: dict[str, ParsedSpan]
 ) -> TopoPattern:
@@ -181,15 +235,68 @@ def extract_topo_pattern(
     interleaving does not create spurious patterns.
     """
 
-    def build(span_id: str) -> TopoNode:
-        children = [
-            build(child.span_id) for child in sub_trace.local_children(span_id)
-        ]
-        children.sort(key=repr)
-        return (parsed[span_id].pattern_id, tuple(children))
+    spans = sub_trace.spans
+    if len(spans) == 1:
+        # Single-span fragments are the most common sub-trace shape;
+        # no child index or sorting is needed.
+        span = spans[0]
+        roots = ((parsed[span.span_id].pattern_id, ()),)
+        entry_ops = ((span.service, span.name),)
+        if span.kind in (SpanKind.CLIENT, SpanKind.PRODUCER):
+            exit_ops: tuple[tuple[str, str], ...] = (
+                (str(span.attributes.get("peer.service", "")), span.name),
+            )
+        else:
+            exit_ops = ()
+        return TopoPattern(roots=roots, entry_ops=entry_ops, exit_ops=exit_ops)
+    # Multi-span sub-traces: resolve the canonical shape from the cache
+    # before paying for tree construction and canonical sorts.
+    index_by_id = {span.span_id: i for i, span in enumerate(spans)}
+    shape_parts = []
+    for span in spans:
+        if span.kind in (SpanKind.CLIENT, SpanKind.PRODUCER):
+            marker = str(span.attributes.get("peer.service", ""))
+        else:
+            marker = None
+        parent_id = span.parent_id
+        shape_parts.append(
+            (
+                parsed[span.span_id].pattern_id,
+                -1 if parent_id is None else index_by_id.get(parent_id, -1),
+                marker,
+            )
+        )
+    shape_key = tuple(shape_parts)
+    cached = _TOPO_PATTERN_CACHE.get(shape_key)
+    if cached is not None:
+        return cached
+    # One pass builds the parent -> children index; the per-span
+    # ``local_children`` scans this replaces were O(spans) each.
+    by_parent: dict[str | None, list] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    local_ids = {span.span_id for span in spans}
 
-    entries = sub_trace.entry_spans()
-    roots = tuple(sorted((build(s.span_id) for s in entries), key=repr))
+    def build(span) -> TopoNode:
+        kids = by_parent.get(span.span_id)
+        if kids:
+            if len(kids) > 1:
+                kids = sorted(kids, key=_span_order)
+            children = [build(kid) for kid in kids]
+            if len(children) > 1:
+                children.sort(key=_node_sort_key)
+            return (parsed[span.span_id].pattern_id, tuple(children))
+        return (parsed[span.span_id].pattern_id, ())
+
+    entries = sorted(
+        (
+            s
+            for s in spans
+            if s.parent_id is None or s.parent_id not in local_ids
+        ),
+        key=_span_order,
+    )
+    roots = tuple(sorted((build(s) for s in entries), key=_node_sort_key))
     entry_ops = tuple(sorted({(s.service, s.name) for s in entries}))
     # Exit operations record the *callee* (peer.service attribute when
     # instrumented, else the operation name alone) so the backend can
@@ -203,4 +310,7 @@ def extract_topo_pattern(
             }
         )
     )
-    return TopoPattern(roots=roots, entry_ops=entry_ops, exit_ops=exit_ops)
+    pattern = TopoPattern(roots=roots, entry_ops=entry_ops, exit_ops=exit_ops)
+    if len(_TOPO_PATTERN_CACHE) < _TOPO_PATTERN_CACHE_CAP:
+        _TOPO_PATTERN_CACHE[shape_key] = pattern
+    return pattern

@@ -56,6 +56,59 @@ class Meter:
         self._buckets.clear()
 
 
+class LatencyStats:
+    """Accumulates wall-clock latency samples and reports percentiles.
+
+    The ingest benchmark's instrument: per-trace agent latencies go in,
+    p50/p99 (the paper's Fig. 15 axes) come out.  Samples are kept raw
+    (one float each) so percentiles are exact, not bucketed.
+    """
+
+    def __init__(self, name: str = "latency") -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        if seconds < 0:
+            raise ValueError("cannot record a negative latency")
+        self._samples.append(seconds)
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile (nearest-rank) over the recorded samples."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median latency in seconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency in seconds."""
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+
+
 @dataclass
 class OverheadLedger:
     """The pair of meters every tracing framework is evaluated with."""
