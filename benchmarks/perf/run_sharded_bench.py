@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Sharded collection-plane benchmark entry point.
+
+Measures end-to-end collection throughput (spans/sec through agents +
+collectors + backend) at shard counts 1/2/4/8 against the
+single-backend reference over the same streams, verifies shard-count
+invariance (identical query results and byte tables), and writes a
+machine-readable ``BENCH_sharded.json`` next to this file — the same
+shape discipline as ``BENCH_ingest.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_sharded_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_sharded_bench.py --check   # invariance gate
+    PYTHONPATH=src python benchmarks/perf/run_sharded_bench.py --check --traces 120 \
+        --workloads onlineboutique --shards 1 2 4   # CI smoke shape
+
+``--check`` exits non-zero when any sharded run's query results or
+byte tables diverge from the single backend, or when merge overhead
+exceeds ``--max-overhead`` (sharded wall-clock vs single-backend
+wall-clock, default 1.35x — the merge layer must stay cheap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from sharded_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_SHARD_COUNTS,
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    WORKLOAD_BUILDERS,
+    build_stream,
+    measure_sharded,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_sharded.json"
+)
+
+
+def run(
+    num_traces: int,
+    warmup_traces: int,
+    workloads: list[str],
+    shard_counts: tuple[int, ...],
+    repeats: int,
+) -> dict:
+    """Measure every (workload, shard count) cell and assemble the report."""
+    report: dict = {
+        "benchmark": "sharded",
+        "units": {
+            "spans_per_sec": "spans through the full collection plane per "
+            "wall-clock second (agents + collectors + backend)",
+            "merge_overhead": "sharded elapsed / single-backend elapsed "
+            "over the identical stream (1.0 = free merge)",
+        },
+        "config": {
+            "traces": num_traces,
+            "warmup_traces": warmup_traces,
+            "shard_counts": list(shard_counts),
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "baseline_single": {},
+        "workloads": {},
+        "merge_overhead": {},
+        "invariance": {},
+    }
+    for name in workloads:
+        stream = build_stream(name, num_traces)
+        measurements, reference, reports = measure_sharded(
+            name,
+            stream,
+            shard_counts=shard_counts,
+            warmup_traces=warmup_traces,
+            repeats=repeats,
+        )
+        report["baseline_single"][name] = reference.as_dict()
+        report["workloads"][name] = {
+            str(count): m.as_dict() for count, m in measurements.items()
+        }
+        report["merge_overhead"][name] = {
+            str(count): round(m.elapsed_seconds / reference.elapsed_seconds, 3)
+            if reference.elapsed_seconds > 0
+            else 0.0
+            for count, m in measurements.items()
+        }
+        report["invariance"][name] = {
+            str(r.num_shards): {
+                "identical": r.identical,
+                "violations": list(r.violations),
+            }
+            for r in reports
+        }
+        line = f"{name:16s} single: {reference.spans_per_sec:>9.0f} spans/s"
+        for count in shard_counts:
+            m = measurements[count]
+            overhead = report["merge_overhead"][name][str(count)]
+            line += f"  | x{count}: {m.spans_per_sec:>9.0f} ({overhead:.2f}x)"
+        print(line)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--warmup-traces", type=int, default=DEFAULT_WARMUP_TRACES)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_BUILDERS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SHARD_COUNTS),
+        help="shard counts to sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on any invariance violation or when merge "
+        "overhead exceeds --max-overhead on any workload",
+    )
+    parser.add_argument("--max-overhead", type=float, default=1.35)
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        tuple(args.shards),
+        args.repeats,
+    )
+
+    failures: list[str] = []
+    if args.check:
+        for name, by_count in report["invariance"].items():
+            for count, verdict in by_count.items():
+                if not verdict["identical"]:
+                    failures.append(
+                        f"{name} x{count}: {'; '.join(verdict['violations'])}"
+                    )
+        for name, by_count in report["merge_overhead"].items():
+            for count, overhead in by_count.items():
+                if overhead > args.max_overhead:
+                    failures.append(
+                        f"{name} x{count}: merge overhead {overhead:.2f}x > "
+                        f"allowed {args.max_overhead:.2f}x"
+                    )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Sharded collection-plane scaling measurement.
+
+One measurement = one workload's deterministic stream pushed through
+the *full* Mint pipeline (agents, collectors, transports, backend) at a
+given shard count, wall-clocked end to end.  The single-backend
+:class:`~repro.baselines.mint_framework.MintFramework` run over the
+same stream is the reference: spans/sec ratios give the merge layer's
+overhead (or benefit), and the reference's query outcomes + byte
+tables give the invariance oracle every sharded run is checked
+against.
+
+Unlike ``ingest_bench`` (agent hot path only), this measures the
+collection plane the sharding PR actually changes: report routing,
+cross-shard pattern merge, the OR'd Bloom pre-screen and notification
+broadcast all sit on the measured path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
+from repro.model.trace import Trace
+from repro.sim.experiment import generate_stream
+from repro.workloads import build_dataset, build_onlineboutique, build_trainticket
+from repro.workloads.specs import Workload
+
+WORKLOAD_BUILDERS: dict[str, Any] = {
+    "onlineboutique": build_onlineboutique,
+    "trainticket": build_trainticket,
+    "alibaba": lambda: build_dataset("A"),
+}
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_TRACES = 400
+DEFAULT_WARMUP_TRACES = 100
+# Best-of-N wall-clock repeats, for the same reason as ingest_bench:
+# one stream interval is small enough for scheduler noise to matter.
+REPEATS = 3
+
+
+@dataclass
+class ShardedMeasurement:
+    """One (workload, shard count) cell of BENCH_sharded.json."""
+
+    workload: str
+    num_shards: int
+    traces: int
+    spans: int
+    elapsed_seconds: float
+    spans_per_sec: float
+    network_bytes: int
+    storage_bytes: int
+    shard_storage_bytes: list[int]
+    shard_network_bytes: list[int]
+    replicated_pattern_bytes: int
+    hits: dict[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "num_shards": self.num_shards,
+            "traces": self.traces,
+            "spans": self.spans,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "spans_per_sec": round(self.spans_per_sec, 1),
+            "network_bytes": self.network_bytes,
+            "storage_bytes": self.storage_bytes,
+            "shard_storage_bytes": list(self.shard_storage_bytes),
+            "shard_network_bytes": list(self.shard_network_bytes),
+            "replicated_pattern_bytes": self.replicated_pattern_bytes,
+            "hits": dict(self.hits),
+        }
+
+
+@dataclass
+class InvarianceReport:
+    """Outcome of checking one sharded run against the reference."""
+
+    workload: str
+    num_shards: int
+    identical: bool
+    violations: list[str] = field(default_factory=list)
+
+
+def build_stream(
+    workload_name: str, num_traces: int, seed: int = 17
+) -> list[tuple[float, Trace]]:
+    """Deterministic (timestamp, trace) stream for one workload."""
+    workload: Workload = WORKLOAD_BUILDERS[workload_name]()
+    stream, _ = generate_stream(workload, num_traces, abnormal_rate=0.02, seed=seed)
+    return stream
+
+
+def _drive(framework, stream) -> float:
+    started = time.perf_counter()
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return time.perf_counter() - started
+
+
+def _query_signature(framework, stream) -> list[tuple[str, str]]:
+    """(trace id, status detail) for every trace — the invariance
+    oracle, and the single query sweep the hit counts derive from.
+
+    Statuses alone understate equivalence, so exact hits also fold in
+    the reconstructed span count and partial hits the segment shape.
+    """
+    signature: list[tuple[str, str]] = []
+    for _, trace in stream:
+        result = framework.query_full(trace.trace_id)
+        detail = result.status
+        if result.status == "exact" and result.trace is not None:
+            detail += f":{len(result.trace.spans)}"
+        elif result.status == "partial" and result.approximate is not None:
+            detail += ":" + ",".join(
+                f"{seg.topo_pattern_id}/{seg.span_count}"
+                for seg in result.approximate.segments
+            )
+        signature.append((trace.trace_id, detail))
+    return signature
+
+
+def _hits_from_signature(signature: list[tuple[str, str]]) -> dict[str, int]:
+    """Fold a query signature into Fig. 12-style hit counts."""
+    hits = {"exact": 0, "partial": 0, "miss": 0}
+    for _, detail in signature:
+        hits[detail.split(":", 1)[0]] += 1
+    return hits
+
+
+def measure_sharded(
+    workload_name: str,
+    stream: list[tuple[float, Trace]],
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+    repeats: int = REPEATS,
+) -> tuple[dict[int, ShardedMeasurement], ShardedMeasurement, list[InvarianceReport]]:
+    """Measure every shard count plus the single-backend reference.
+
+    Returns (per-shard-count measurements, reference measurement,
+    invariance reports).  Every run sees the identical stream; elapsed
+    is best-of-``repeats`` with a fresh framework per repeat.
+    """
+    span_count = sum(len(trace.spans) for _, trace in stream)
+
+    def reference_factory():
+        return MintFramework(auto_warmup_traces=warmup_traces)
+
+    ref_elapsed, ref_framework = _best_of(reference_factory, stream, repeats)
+    ref_signature = _query_signature(ref_framework, stream)
+    reference = _measurement(
+        workload_name, 0, span_count, ref_elapsed, ref_framework,
+        _hits_from_signature(ref_signature), len(stream),
+    )
+    ref_tables = _byte_tables(ref_framework)
+
+    measurements: dict[int, ShardedMeasurement] = {}
+    reports: list[InvarianceReport] = []
+    for count in shard_counts:
+        def factory(count=count):
+            return ShardedMintFramework(
+                num_shards=count, auto_warmup_traces=warmup_traces
+            )
+
+        elapsed, framework = _best_of(factory, stream, repeats)
+        signature = _query_signature(framework, stream)
+        measurements[count] = _measurement(
+            workload_name, count, span_count, elapsed, framework,
+            _hits_from_signature(signature), len(stream),
+        )
+        violations: list[str] = []
+        if signature != ref_signature:
+            violations.append("query results diverge from single backend")
+        tables = _byte_tables(framework)
+        for key, value in tables.items():
+            if value != ref_tables[key]:
+                violations.append(
+                    f"{key}: sharded {value} != reference {ref_tables[key]}"
+                )
+        reports.append(
+            InvarianceReport(
+                workload=workload_name,
+                num_shards=count,
+                identical=not violations,
+                violations=violations,
+            )
+        )
+    return measurements, reference, reports
+
+
+def _best_of(factory, stream, repeats: int):
+    """Fresh-framework repeats; keep the fastest run's framework."""
+    best_elapsed = float("inf")
+    best_framework = None
+    for _ in range(max(1, repeats)):
+        framework = factory()
+        elapsed = _drive(framework, stream)
+        if elapsed < best_elapsed:
+            best_elapsed = elapsed
+            best_framework = framework
+    return best_elapsed, best_framework
+
+
+def _byte_tables(framework) -> dict[str, int]:
+    storage = framework.backend.storage
+    return {
+        "network_bytes": framework.network_bytes,
+        "storage_bytes": framework.storage_bytes,
+        "pattern_bytes": storage.pattern_bytes,
+        "bloom_bytes": storage.bloom_bytes,
+        "params_bytes": storage.params_bytes,
+    }
+
+
+def _measurement(
+    workload_name: str,
+    num_shards: int,
+    span_count: int,
+    elapsed: float,
+    framework,
+    hits: dict[str, int],
+    trace_count: int,
+) -> ShardedMeasurement:
+    if isinstance(framework, ShardedMintFramework):
+        rows = framework.shard_meter_rows()
+        shard_storage = [row.storage_bytes for row in rows]
+        shard_network = [row.network_bytes for row in rows]
+        replicated = framework.backend.merged.replicated_pattern_bytes()
+    else:
+        shard_storage = [framework.storage_bytes]
+        shard_network = [framework.network_bytes]
+        replicated = 0
+    return ShardedMeasurement(
+        workload=workload_name,
+        num_shards=num_shards,
+        traces=trace_count,
+        spans=span_count,
+        elapsed_seconds=elapsed,
+        spans_per_sec=span_count / elapsed if elapsed > 0 else 0.0,
+        network_bytes=framework.network_bytes,
+        storage_bytes=framework.storage_bytes,
+        shard_storage_bytes=shard_storage,
+        shard_network_bytes=shard_network,
+        replicated_pattern_bytes=replicated,
+        hits=hits,
+    )

@@ -23,7 +23,6 @@ import pytest
 from repro.analysis import render_table, top1_accuracy
 from repro.agent.samplers import TailSampler
 from repro.baselines import Hindsight, MintFramework, OTHead, OTTail, Sieve
-from repro.model.encoding import encoded_size
 from repro.rca import MicroRank, TraceAnomaly, TraceRCA
 from repro.sim.experiment import rca_views_for_framework
 from repro.workloads import (

@@ -8,7 +8,7 @@ at fpp 0.01, a 4 MB Params Buffer, 60 s pattern report interval, and a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 DEFAULT_ABNORMAL_WORDS = (
     "error",

@@ -13,6 +13,13 @@ from repro.backend.querier import (
     Querier,
 )
 from repro.backend.backend import MintBackend
+from repro.backend.sharded import (
+    MergedStorageView,
+    ShardedBackend,
+    ShardedQuerier,
+    ShardSummary,
+    shard_for_key,
+)
 from repro.backend.explorer import (
     BatchAnalysis,
     FlameNode,
@@ -29,6 +36,11 @@ __all__ = [
     "ApproximateTrace",
     "ApproximateSegment",
     "MintBackend",
+    "MergedStorageView",
+    "ShardedBackend",
+    "ShardedQuerier",
+    "ShardSummary",
+    "shard_for_key",
     "FlameNode",
     "flame_graph",
     "render_flame_graph",

@@ -1,0 +1,569 @@
+"""The sharded multi-agent collection plane.
+
+Scales the Mint backend from one box to N shards, each owning a
+hash-partition of the deployment's hosts (and thereby of the services
+placed on them).  Every host keeps its own agent + collector exactly as
+in the single-backend deployment; a collector's reports land on the
+shard that owns its host, into that shard's private
+:class:`~repro.backend.storage.StorageEngine`.
+
+The merge layer on top restores the single-backend view:
+
+* **Pattern libraries** union by content-hash id.  Pattern ids are
+  SHA1-of-repr, so the same span/topo shape observed on different
+  shards carries the same id and is charged for storage exactly once
+  globally — identical to what one backend would charge.
+* **Bloom filters** of compatible geometry are OR'd into one merged
+  filter per topo pattern.  The merged filter is a strict superset of
+  every constituent, so it is used only as a *negative* pre-screen:
+  a trace absent from the merged filter is provably absent from every
+  shard's filters, and candidates are still confirmed against the
+  individual stored filters — query answers stay bit-identical to the
+  single backend's.
+* **Sampled-trace notifications** are reconciled across shards: a
+  sampling decision on any shard is broadcast to every registered
+  collector on every shard (minus the origin host), so the paper's
+  trace-coherence guarantee ("backend notifies all hosts") holds for
+  the whole fleet, with one idempotent notification per trace id.
+
+The correctness contract is *shard-count invariance*: for the same
+ingest stream, ``ShardedBackend(num_shards=1)`` behaves exactly like
+:class:`~repro.backend.backend.MintBackend`, and query results plus
+byte tables are identical for any shard count
+(tests/test_backend_sharded.py pins this for N in {1, 2, 4, 8}).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.agent.reports import (
+    BloomReport,
+    ParamsReport,
+    PatternLibraryReport,
+    Report,
+)
+from repro.backend.backend import _NOTIFY_MESSAGE_BYTES, NotifyMeter
+from repro.backend.querier import Querier, QueryResult
+from repro.backend.storage import StorageEngine, StoredBloom
+from repro.bloom.bloom_filter import BloomFilter
+from repro.model.encoding import encoded_size
+from repro.parsing.span_parser import SpanPattern
+from repro.parsing.trace_parser import TopoPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.agent.collector import MintCollector
+
+
+def shard_for_key(key: str, num_shards: int) -> int:
+    """Stable hash-partition of an owner key (host or service name).
+
+    Content-derived (blake2b of the key), so placement is reproducible
+    across processes and restarts — the property that lets per-shard
+    state be rebuilt and re-merged deterministically.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_shards == 1:
+        return 0
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+class _MergedParams:
+    """Read-only fan-out view of every shard's params store.
+
+    A multi-host trace's parameter records are scattered across the
+    shards owning its hosts; ``get`` concatenates the per-shard buckets.
+    Records are deduplicated at store time by (span_id, node) and a
+    host belongs to exactly one shard, so concatenation introduces no
+    duplicates — the merged bucket equals the single backend's.
+    """
+
+    def __init__(self, shards: list[StorageEngine]) -> None:
+        self._shards = shards
+
+    def get(self, trace_id: str, default: Any = None) -> Any:
+        combined: list[list[Any]] = []
+        for shard in self._shards:
+            bucket = shard.params.get(trace_id)
+            if bucket:
+                combined.extend(bucket)
+        return combined if combined else default
+
+    def __contains__(self, trace_id: str) -> bool:
+        return any(trace_id in shard.params for shard in self._shards)
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for shard in self._shards:
+            for trace_id in shard.params:
+                if trace_id not in seen:
+                    seen.add(trace_id)
+                    yield trace_id
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+class _MergedPatterns:
+    """Fan-out lookup over the shards' interned pattern dicts.
+
+    Ids are content hashes: any shard's copy of an id is structurally
+    identical to every other shard's, so first hit wins.
+    """
+
+    def __init__(self, shards: list[StorageEngine], attr: str) -> None:
+        self._shards = shards
+        self._attr = attr
+
+    def get(self, pattern_id: str, default: Any = None) -> Any:
+        for shard in self._shards:
+            found = getattr(shard, self._attr).get(pattern_id)
+            if found is not None:
+                return found
+        return default
+
+    def __contains__(self, pattern_id: str) -> bool:
+        return any(pattern_id in getattr(shard, self._attr) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[str]:
+        seen: set[str] = set()
+        for shard in self._shards:
+            for pattern_id in getattr(shard, self._attr):
+                if pattern_id not in seen:
+                    seen.add(pattern_id)
+                    yield pattern_id
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+class _MergedSampledIds:
+    """Live, mutable union view of the fleet's sampled trace ids.
+
+    Reads union every shard's set with the merge layer's own marks;
+    ``add`` records on the merge layer — so the MintBackend idiom
+    ``storage.sampled_trace_ids.add(trace_id)`` works unchanged against
+    the merged view instead of silently mutating a temporary set.
+    """
+
+    def __init__(self, shards: list[StorageEngine], extra: set[str]) -> None:
+        self._shards = shards
+        self._extra = extra
+
+    def add(self, trace_id: str) -> None:
+        self._extra.add(trace_id)
+
+    def __contains__(self, trace_id: str) -> bool:
+        return trace_id in self._extra or any(
+            trace_id in shard.sampled_trace_ids for shard in self._shards
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        seen = set(self._extra)
+        yield from seen
+        for shard in self._shards:
+            for trace_id in shard.sampled_trace_ids:
+                if trace_id not in seen:
+                    seen.add(trace_id)
+                    yield trace_id
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+
+class _MergedNumericRanges:
+    """Min/max union of per-shard numeric display ranges.
+
+    The single backend folds successive reports with min/max; min/max
+    is associative and commutative, so folding per shard first and
+    merging on read yields the same bounds.
+    """
+
+    def __init__(self, shards: list[StorageEngine]) -> None:
+        self._shards = shards
+
+    def get(
+        self, pattern_id: str, default: Any = None
+    ) -> dict[str, tuple[float, float]] | Any:
+        merged: dict[str, tuple[float, float]] | None = None
+        for shard in self._shards:
+            ranges = shard.numeric_ranges.get(pattern_id)
+            if not ranges:
+                continue
+            if merged is None:
+                merged = dict(ranges)
+                continue
+            for key, (lower, upper) in ranges.items():
+                current = merged.get(key)
+                if current is None:
+                    merged[key] = (lower, upper)
+                else:
+                    merged[key] = (min(current[0], lower), max(current[1], upper))
+        return merged if merged is not None else default
+
+
+class MergedStorageView:
+    """The merge layer: one StorageEngine-shaped view over N shards.
+
+    Duck-types everything :class:`~repro.backend.querier.Querier` and
+    the analysis layers read from a storage engine, backed by fan-out
+    over the shard stores plus two pieces of incremental merge state
+    maintained by :meth:`observe_report`:
+
+    * global pattern-byte accounting with cross-shard content-id dedup
+      (a pattern reported by hosts on two shards is charged once, as
+      the single backend would);
+    * the OR'd Bloom pre-screen index, one merged filter per
+      (topo pattern, filter geometry).
+    """
+
+    def __init__(self, shards: list[StorageEngine]) -> None:
+        self.shards = shards
+        self.params = _MergedParams(shards)
+        self.span_patterns = _MergedPatterns(shards, "span_patterns")
+        self.topo_patterns = _MergedPatterns(shards, "topo_patterns")
+        self.numeric_ranges = _MergedNumericRanges(shards)
+        self._pattern_bytes = 0
+        self._seen_span_pattern_ids: set[str] = set()
+        self._seen_topo_pattern_ids: set[str] = set()
+        # topo_pattern_id -> geometry -> OR of every reported filter.
+        self._merged_blooms: dict[str, dict[tuple[int, int], BloomFilter]] = {}
+        # Patterns whose accumulator saturated past usefulness: treated
+        # as unconditional candidates (see _absorb_filter).
+        self._prescreen_saturated: set[str] = set()
+        self._extra_sampled: set[str] = set()
+        self.sampled_trace_ids = _MergedSampledIds(shards, self._extra_sampled)
+
+    # ------------------------------------------------------------------
+    # Incremental merge state (fed by ShardedBackend.receive)
+    # ------------------------------------------------------------------
+    def observe_report(self, report: Report, shard: StorageEngine) -> None:
+        """Fold one routed (and already stored) report into the global
+        merge state.
+
+        Pattern dedup keys are re-derived from the pattern *content*
+        (exactly as the shard's
+        :meth:`StorageEngine.store_pattern_report` does) rather than
+        read from the report, so the merged accounting can never
+        disagree with the stores about identity.  Pattern reports
+        shrink to nothing once libraries converge, so the re-derivation
+        is off the steady-state hot path.
+
+        Bloom reports reuse the filter the shard just stored (the tail
+        of ``shard.blooms``) instead of deserialising the payload a
+        second time — flushed filters are the steady-state report
+        traffic, so this keeps merge overhead off the wire-size path.
+        """
+        if isinstance(report, PatternLibraryReport):
+            for data in report.span_patterns:
+                pattern_id = SpanPattern.from_dict(data).pattern_id
+                if pattern_id not in self._seen_span_pattern_ids:
+                    self._seen_span_pattern_ids.add(pattern_id)
+                    self._pattern_bytes += encoded_size(data)
+            for data in report.topo_patterns:
+                pattern_id = TopoPattern.from_dict(data).pattern_id
+                if pattern_id not in self._seen_topo_pattern_ids:
+                    self._seen_topo_pattern_ids.add(pattern_id)
+                    self._pattern_bytes += encoded_size(data)
+        elif isinstance(report, BloomReport):
+            self._absorb_filter(report.topo_pattern_id, shard.blooms[-1].filter)
+
+    # Beyond this saturation an accumulator's false-positive rate is so
+    # high it prunes nothing; the pattern is then treated as a
+    # candidate unconditionally and the accumulator memory is freed.
+    _PRESCREEN_MAX_SATURATION = 0.5
+
+    def _absorb_filter(self, pattern_id: str, filt: BloomFilter) -> None:
+        """OR a stored filter into the pre-screen index.
+
+        Accumulators never alias stored filters (mutating one would
+        corrupt exact membership checks), so the first absorb pays one
+        copy into a fresh filter of the same geometry.  Filters of a
+        different geometry (heterogeneously configured shard engines)
+        get their own accumulator, never a lossy mix.  Accumulators
+        that saturate past :data:`_PRESCREEN_MAX_SATURATION` are
+        dropped: the pattern becomes an unconditional candidate, which
+        is always correct (the pre-screen is only ever a negative
+        filter) and caps both memory and pointless probe work on
+        long-running streams.
+        """
+        if pattern_id in self._prescreen_saturated:
+            return
+        groups = self._merged_blooms.setdefault(pattern_id, {})
+        accumulator = groups.get(filt.geometry())
+        if accumulator is None:
+            accumulator = BloomFilter(
+                filt.expected_insertions, filt.false_positive_probability
+            )
+            groups[filt.geometry()] = accumulator
+        accumulator.absorb(filt)
+        if accumulator.saturation > self._PRESCREEN_MAX_SATURATION:
+            self._prescreen_saturated.add(pattern_id)
+            del self._merged_blooms[pattern_id]
+
+    # ------------------------------------------------------------------
+    # StorageEngine-shaped lookups
+    # ------------------------------------------------------------------
+    def patterns_matching_trace(self, trace_id: str) -> list[StoredBloom]:
+        """All stored filters (across shards) that may contain the trace.
+
+        The merged OR index screens whole topo patterns out first: if
+        ``trace_id`` misses every merged accumulator of a pattern it
+        provably misses each constituent filter, and none of them need
+        be probed.  Survivors (and patterns whose accumulator saturated
+        out of the index) are confirmed filter by filter, so the result
+        set is exactly the single backend's.
+        """
+        candidates: set[str] = set(self._prescreen_saturated)
+        for pattern_id, groups in self._merged_blooms.items():
+            if any(trace_id in merged for merged in groups.values()):
+                candidates.add(pattern_id)
+        if not candidates:
+            return []
+        return [
+            stored
+            for shard in self.shards
+            for stored in shard.blooms
+            if stored.topo_pattern_id in candidates and trace_id in stored.filter
+        ]
+
+    def has_params(self, trace_id: str) -> bool:
+        """True when some shard holds the trace's exact parameters."""
+        return trace_id in self.params
+
+    def mark_sampled(self, trace_id: str) -> None:
+        """Record a sampling decision that has no params report (yet)."""
+        self._extra_sampled.add(trace_id)
+
+    @property
+    def blooms(self) -> list[StoredBloom]:
+        """Every stored filter, shard-major (for introspection)."""
+        return [stored for shard in self.shards for stored in shard.blooms]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def pattern_bytes(self) -> int:
+        """Globally deduplicated pattern bytes — the merged table."""
+        return self._pattern_bytes
+
+    @property
+    def bloom_bytes(self) -> int:
+        """Bloom bytes across shards (every upload is persisted)."""
+        return sum(shard.bloom_bytes for shard in self.shards)
+
+    @property
+    def params_bytes(self) -> int:
+        """Parameter bytes across shards (host-disjoint, no dedup gap)."""
+        return sum(shard.params_bytes for shard in self.shards)
+
+    def storage_bytes(self) -> int:
+        """The merged Fig. 11 storage metric, single-backend-identical."""
+        return self.pattern_bytes + self.bloom_bytes + self.params_bytes
+
+    def replicated_pattern_bytes(self) -> int:
+        """Merge overhead: pattern bytes held redundantly across shards.
+
+        The sum of per-shard pattern bytes minus the deduplicated
+        merged figure — what the fleet physically stores beyond the
+        logical (single-backend) table because the same content-id was
+        learned on more than one shard.
+        """
+        return sum(shard.pattern_bytes for shard in self.shards) - self._pattern_bytes
+
+
+class ShardedQuerier(Querier):
+    """Fans a trace query across every shard and merges the answers.
+
+    Inherits the reference query logic unchanged and points it at the
+    :class:`MergedStorageView`, whose fan-out reads *are* the per-shard
+    queries: exact reconstruction unions parameter records from the
+    shards owning the trace's hosts (resolving span patterns through
+    the merged library, so a pattern learned on one shard reconstructs
+    records stored on another), and approximate reconstruction unions
+    Bloom matches across shards before the usual verify-and-stitch.
+    Sharing the reference implementation is what makes "merged result
+    == single-backend result" hold by construction rather than by
+    re-implementation.
+    """
+
+    def __init__(self, merged: MergedStorageView) -> None:
+        super().__init__(merged)  # type: ignore[arg-type]
+        self.merged = merged
+
+    def query_shard(self, shard_index: int, trace_id: str) -> QueryResult:
+        """One shard's partial answer (diagnostics / partition probes)."""
+        return Querier(self.merged.shards[shard_index]).query(trace_id)
+
+
+@dataclass
+class ShardSummary:
+    """Per-shard meter snapshot for the scaling experiments."""
+
+    shard: int
+    hosts: list[str]
+    pattern_bytes: int
+    bloom_bytes: int
+    params_bytes: int
+    storage_bytes: int
+    sampled_traces: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "hosts": list(self.hosts),
+            "pattern_bytes": self.pattern_bytes,
+            "bloom_bytes": self.bloom_bytes,
+            "params_bytes": self.params_bytes,
+            "storage_bytes": self.storage_bytes,
+            "sampled_traces": self.sampled_traces,
+        }
+
+
+class ShardedBackend:
+    """N hash-partitioned shards behind a MintBackend-shaped facade.
+
+    Drop-in for :class:`~repro.backend.backend.MintBackend`: the same
+    ``register_collector`` / ``receive`` / ``notify_sampled`` / ``query``
+    / ``storage_bytes`` surface, plus per-shard introspection.  Reports
+    are routed to the shard owning their origin host; queries are
+    answered by the :class:`ShardedQuerier` over the merged view;
+    sampling notifications broadcast to the whole fleet.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        bloom_buffer_bytes: int = 4096,
+        bloom_fpp: float = 0.01,
+        notify_meter: NotifyMeter | None = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+        self.shards = [
+            StorageEngine(bloom_buffer_bytes=bloom_buffer_bytes, bloom_fpp=bloom_fpp)
+            for _ in range(num_shards)
+        ]
+        self.merged = MergedStorageView(self.shards)
+        self.querier = ShardedQuerier(self.merged)
+        self._collectors: list["MintCollector"] = []
+        self._collector_shards: list[int] = []
+        self._notify_meter = notify_meter
+        self._notified_trace_ids: set[str] = set()
+
+    # The framework and tests read ``backend.storage`` for byte tables
+    # and stored-trace enumeration; the merged view plays that role.
+    @property
+    def storage(self) -> MergedStorageView:
+        """The single-backend-equivalent merged storage view."""
+        return self.merged
+
+    def shard_for(self, node: str) -> int:
+        """The shard owning ``node`` (stable hash partition)."""
+        return shard_for_key(node, self.num_shards)
+
+    # ------------------------------------------------------------------
+    # Collector plane
+    # ------------------------------------------------------------------
+    def register_collector(self, collector: "MintCollector") -> None:
+        """Attach a host's collector to the shard owning the host.
+
+        Registration order is preserved globally so notification
+        fan-out visits collectors exactly as one backend would.
+        """
+        self._collectors.append(collector)
+        self._collector_shards.append(self.shard_for(collector.node))
+
+    def collectors_on_shard(self, shard: int) -> list["MintCollector"]:
+        """The collectors whose hosts the shard owns."""
+        return [
+            collector
+            for collector, owner in zip(self._collectors, self._collector_shards)
+            if owner == shard
+        ]
+
+    def receive(self, report: Report) -> None:
+        """Route one report to its origin host's shard, then merge."""
+        shard = self.shards[self.shard_for(report.node)]
+        if isinstance(report, PatternLibraryReport):
+            shard.store_pattern_report(report)
+        elif isinstance(report, BloomReport):
+            shard.store_bloom_report(report)
+        elif isinstance(report, ParamsReport):
+            shard.store_params_report(report)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown report type: {type(report)!r}")
+        self.merged.observe_report(report, shard)
+
+    def notify_sampled(self, trace_id: str, origin_node: str | None = None) -> None:
+        """Broadcast a sampling decision across every shard's hosts.
+
+        Idempotent per trace id fleet-wide: the first notification, no
+        matter which shard's host sampled, reaches every other
+        registered collector exactly once — the cross-shard
+        reconciliation that keeps "backend notifies all hosts" true
+        when the backend is N boxes.
+        """
+        if trace_id in self._notified_trace_ids:
+            return
+        self._notified_trace_ids.add(trace_id)
+        self.merged.mark_sampled(trace_id)
+        for collector in self._collectors:
+            if origin_node is not None and collector.node == origin_node:
+                continue
+            if self._notify_meter is not None:
+                self._notify_meter(collector.node, _NOTIFY_MESSAGE_BYTES)
+            collector.mark_sampled(trace_id)
+
+    # ------------------------------------------------------------------
+    # Query plane
+    # ------------------------------------------------------------------
+    def query(self, trace_id: str, pull_params: bool = False) -> QueryResult:
+        """Fan the query out and merge — same contract as MintBackend.
+
+        ``pull_params`` retains the retroactive-pull upgrade: on a
+        partial hit every collector fleet-wide is asked for buffered
+        parameters before re-querying.
+        """
+        result = self.querier.query(trace_id)
+        if not pull_params or result.status != "partial":
+            return result
+        pulled = False
+        for collector in self._collectors:
+            if collector.request_params(trace_id):
+                pulled = True
+        if pulled:
+            self.merged.mark_sampled(trace_id)
+            return self.querier.query(trace_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Merged (deduplicated) persisted bytes — Fig. 11's metric."""
+        return self.merged.storage_bytes()
+
+    def shard_summaries(self) -> list[ShardSummary]:
+        """Per-shard byte tables for the scaling experiments."""
+        hosts_by_shard: dict[int, list[str]] = {i: [] for i in range(self.num_shards)}
+        for collector, owner in zip(self._collectors, self._collector_shards):
+            hosts_by_shard[owner].append(collector.node)
+        return [
+            ShardSummary(
+                shard=i,
+                hosts=sorted(hosts_by_shard[i]),
+                pattern_bytes=shard.pattern_bytes,
+                bloom_bytes=shard.bloom_bytes,
+                params_bytes=shard.params_bytes,
+                storage_bytes=shard.storage_bytes(),
+                sampled_traces=len(shard.sampled_trace_ids),
+            )
+            for i, shard in enumerate(self.shards)
+        ]

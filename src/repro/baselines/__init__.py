@@ -9,7 +9,9 @@ comparison is apples-to-apples:
 * ``OTTail`` — tail sampling on the ``is_abnormal`` tag;
 * ``Hindsight`` — retroactive sampling with breadcrumbs (NSDI '23);
 * ``Sieve`` — RRCF-based biased tail sampling (ICWS '21);
-* ``MintFramework`` — this paper.
+* ``MintFramework`` — this paper;
+* ``ShardedMintFramework`` — this paper's pipeline over N backend
+  shards (shard-count-invariant by construction).
 """
 
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
@@ -17,7 +19,7 @@ from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.hindsight import Hindsight
 from repro.baselines.rrcf import RobustRandomCutForest, RandomCutTree
 from repro.baselines.sieve import Sieve
-from repro.baselines.mint_framework import MintFramework
+from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
 
 __all__ = [
     "TracingFramework",
@@ -30,4 +32,5 @@ __all__ = [
     "RobustRandomCutForest",
     "RandomCutTree",
     "MintFramework",
+    "ShardedMintFramework",
 ]

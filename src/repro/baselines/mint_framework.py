@@ -18,9 +18,11 @@ from repro.agent.reports import Report
 from repro.agent.samplers import Sampler
 from repro.backend.backend import MintBackend
 from repro.backend.querier import QueryResult
+from repro.backend.sharded import ShardedBackend, ShardSummary
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
 from repro.model.span import Span
 from repro.model.trace import Trace
+from repro.sim.meters import OverheadLedger, ShardLedgerRow
 
 SamplerFactory = Callable[[], Sampler]
 
@@ -39,17 +41,21 @@ class MintFramework(TracingFramework):
         super().__init__()
         self.config = config or MintConfig()
         self._extra_factories = list(extra_sampler_factories or [])
-        self.backend = MintBackend(
-            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
-            bloom_fpp=self.config.bloom_fpp,
-            notify_meter=self._charge_notify,
-        )
+        self.backend = self._make_backend()
         self._collectors: dict[str, MintCollector] = {}
         self._now = 0.0
         self._warmed_up = False
         self._auto_warmup_traces = auto_warmup_traces
         self._warmup_queue: list[Trace] = []
         self._last_storage = 0
+
+    def _make_backend(self) -> MintBackend:
+        """Backend construction hook (the sharded deployment overrides)."""
+        return MintBackend(
+            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
+            bloom_fpp=self.config.bloom_fpp,
+            notify_meter=self._charge_notify,
+        )
 
     # ------------------------------------------------------------------
     # Warm-up (paper Section 3.2.1 offline stage)
@@ -157,3 +163,88 @@ class MintFramework(TracingFramework):
         if current > self._last_storage:
             self.ledger.storage.record(current - self._last_storage, now)
             self._last_storage = current
+
+
+class ShardedMintFramework(MintFramework):
+    """Mint with the collection plane fanned across N backend shards.
+
+    The agent/collector fleet is wired exactly as in
+    :class:`MintFramework` (one agent per host — sharding must not
+    perturb parsing or sampling), but reports land on a
+    :class:`~repro.backend.sharded.ShardedBackend`, and every byte is
+    charged twice: once on the deployment-wide ledger (comparable to
+    the single-backend numbers) and once on the owning shard's ledger,
+    giving the per-shard MB/min panels of the scaling experiments.
+    """
+
+    name = "Mint-Sharded"
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        config: MintConfig | None = None,
+        extra_sampler_factories: list[SamplerFactory] | None = None,
+        auto_warmup_traces: int = 100,
+    ) -> None:
+        self.num_shards = num_shards
+        self.shard_ledgers = [OverheadLedger() for _ in range(num_shards)]
+        self._last_shard_storage = [0] * num_shards
+        super().__init__(
+            config=config,
+            extra_sampler_factories=extra_sampler_factories,
+            auto_warmup_traces=auto_warmup_traces,
+        )
+        self.name = f"Mint-Sharded({num_shards})"
+
+    def _make_backend(self) -> ShardedBackend:
+        return ShardedBackend(
+            num_shards=self.num_shards,
+            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
+            bloom_fpp=self.config.bloom_fpp,
+            notify_meter=self._charge_notify,
+        )
+
+    def _transport(self, report: Report) -> None:
+        size = report.size_bytes()
+        shard = self.backend.shard_for(report.node)
+        self.shard_ledgers[shard].network.record(size, self._now)
+        self.ledger.network.record(size, self._now)
+        self.backend.receive(report)
+
+    def _charge_notify(self, node: str, nbytes: int) -> None:
+        # Control messages are egress of the shard owning the notified
+        # host (that shard's frontend sends the ping).
+        self.shard_ledgers[self.backend.shard_for(node)].network.record(
+            nbytes, self._now
+        )
+        self.ledger.network.record(nbytes, self._now)
+
+    def _sync_storage_meter(self, now: float) -> None:
+        super()._sync_storage_meter(now)
+        for i, shard in enumerate(self.backend.shards):
+            current = shard.storage_bytes()
+            if current > self._last_shard_storage[i]:
+                self.shard_ledgers[i].storage.record(
+                    current - self._last_shard_storage[i], now
+                )
+                self._last_shard_storage[i] = current
+
+    def shard_summaries(self) -> list[ShardSummary]:
+        """Per-shard storage tables from the backend."""
+        return self.backend.shard_summaries()
+
+    def shard_meter_rows(self) -> list[ShardLedgerRow]:
+        """Per-shard network/storage totals (physical, not deduplicated).
+
+        Summed shard storage can exceed the deployment ledger's figure:
+        the gap is exactly the merge layer's replicated pattern bytes
+        (``backend.merged.replicated_pattern_bytes()``).
+        """
+        return [
+            ShardLedgerRow(
+                shard=i,
+                network_bytes=ledger.network.total_bytes,
+                storage_bytes=ledger.storage.total_bytes,
+            )
+            for i, ledger in enumerate(self.shard_ledgers)
+        ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Any, Iterable
+from typing import Iterable
 
 
 def optimal_bit_count(expected_insertions: int, false_positive_probability: float) -> int:
@@ -163,15 +163,34 @@ class BloomFilter:
 
     def union(self, other: "BloomFilter") -> "BloomFilter":
         """Merge two filters built with identical parameters."""
+        merged = BloomFilter(self.expected_insertions, self.false_positive_probability)
+        merged.absorb(self)
+        merged.absorb(other)
+        return merged
+
+    def absorb(self, other: "BloomFilter") -> None:
+        """In-place OR of ``other`` into this filter (same geometry).
+
+        After absorbing, every item present in ``other`` tests positive
+        here (the superset property cross-shard merge indexes rely on);
+        false positives may increase, misses never appear.  This is the
+        one OR-merge implementation — :meth:`union` is a copy plus two
+        absorbs.
+        """
         if (
             self.bit_count != other.bit_count
             or self.hash_count != other.hash_count
         ):
-            raise ValueError("cannot union filters with different geometry")
-        merged = BloomFilter(self.expected_insertions, self.false_positive_probability)
-        merged._bits = bytearray(a | b for a, b in zip(self._bits, other._bits))
-        merged._inserted = self._inserted + other._inserted
-        return merged
+            raise ValueError("cannot merge filters with different geometry")
+        bits = self._bits
+        for i, byte in enumerate(other._bits):
+            if byte:
+                bits[i] |= byte
+        self._inserted += other._inserted
+
+    def geometry(self) -> tuple[int, int]:
+        """(bit_count, hash_count) — the compatibility key for merging."""
+        return (self.bit_count, self.hash_count)
 
 
 def sized_for_bytes(

@@ -21,8 +21,8 @@ from typing import Any
 
 from repro.compression.base import CompressionResult, Compressor
 from repro.compression.corpus import corpus_raw_bytes
-from repro.model.encoding import encoded_size, span_to_dict
-from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.encoding import encoded_size
+from repro.model.span import Span, SpanKind
 from repro.model.trace import SubTrace, Trace
 from repro.parsing.span_parser import ParsedSpan, SpanParser, reconstruct_exact_span
 from repro.parsing.trace_parser import (

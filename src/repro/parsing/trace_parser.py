@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Any, Iterable
+from typing import Any
 
 from repro.model.encoding import encoded_size
 from repro.model.span import SpanKind

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.backend.querier import ApproximateTrace
-from repro.model.span import SpanKind, SpanStatus
+from repro.model.span import SpanStatus
 from repro.model.trace import Trace
 
 

@@ -14,8 +14,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework
+from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
 from repro.model.trace import Trace
+from repro.sim.meters import ShardLedgerRow
 from repro.rca.views import TraceView, view_from_approximate, views_from_traces
 from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
 from repro.workloads.generator import WorkloadDriver
@@ -132,6 +133,98 @@ def run_experiment(
             hits=hits,
             framework=framework,
         )
+    return result
+
+
+@dataclass
+class ShardedScalingResult:
+    """The multi-agent topology mode's output: Mint at several shard
+    counts over one stream, with the single-backend run as reference.
+
+    ``runs`` is keyed by shard count; ``shard_meters`` carries each
+    run's per-shard network/storage panels; ``invariant`` records
+    whether every sharded run matched the reference's query outcomes
+    and byte tables exactly (the correctness contract of the sharded
+    collection plane).
+    """
+
+    workload: str
+    trace_count: int
+    reference: FrameworkRun
+    runs: dict[int, FrameworkRun] = field(default_factory=dict)
+    shard_meters: dict[int, list[ShardLedgerRow]] = field(default_factory=dict)
+    replicated_pattern_bytes: dict[int, int] = field(default_factory=dict)
+    invariant: bool = True
+    violations: list[str] = field(default_factory=list)
+
+
+def run_sharded_experiment(
+    workload: Workload,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    num_traces: int = 600,
+    abnormal_rate: float = 0.05,
+    requests_per_minute: float = 6000.0,
+    seed: int = 1,
+    auto_warmup_traces: int = 100,
+) -> ShardedScalingResult:
+    """The multi-agent topology mode (spans routed by owning service).
+
+    One deterministic stream is generated once; sub-traces reach each
+    host's agent exactly as in the single-backend experiment (the
+    workload's service->node placement routes every span to its owning
+    service's host), while collector reports land on the shard owning
+    the host.  Mint is run once with the reference single backend and
+    once per requested shard count, then query outcomes and byte
+    tables are cross-checked — a sharded run that diverges from the
+    reference in any hit status, network total or storage table is
+    recorded as an invariance violation.
+    """
+    factories: dict[str, FrameworkFactory] = {
+        "Mint": lambda: MintFramework(auto_warmup_traces=auto_warmup_traces)
+    }
+    for count in shard_counts:
+        factories[f"Mint x{count}"] = (
+            lambda count=count: ShardedMintFramework(
+                num_shards=count, auto_warmup_traces=auto_warmup_traces
+            )
+        )
+    experiment = run_experiment(
+        workload,
+        factories,
+        num_traces=num_traces,
+        abnormal_rate=abnormal_rate,
+        requests_per_minute=requests_per_minute,
+        seed=seed,
+    )
+    reference = experiment.runs["Mint"]
+    result = ShardedScalingResult(
+        workload=experiment.workload,
+        trace_count=experiment.trace_count,
+        reference=reference,
+    )
+    for count in shard_counts:
+        run = experiment.runs[f"Mint x{count}"]
+        result.runs[count] = run
+        framework = run.framework
+        if isinstance(framework, ShardedMintFramework):
+            summaries = {s.shard: s for s in framework.shard_summaries()}
+            rows = framework.shard_meter_rows()
+            for row in rows:
+                row.hosts = list(summaries[row.shard].hosts)
+            result.shard_meters[count] = rows
+            result.replicated_pattern_bytes[count] = (
+                framework.backend.merged.replicated_pattern_bytes()
+            )
+        for metric, got, want in (
+            ("hits", run.hits, reference.hits),
+            ("network_bytes", run.network_bytes, reference.network_bytes),
+            ("storage_bytes", run.storage_bytes, reference.storage_bytes),
+        ):
+            if got != want:
+                result.invariant = False
+                result.violations.append(
+                    f"shards={count}: {metric} {got!r} != reference {want!r}"
+                )
     return result
 
 

@@ -15,9 +15,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.agent.collector import MintCollector
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework
+from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
 from repro.model.encoding import encoded_size
 from repro.sim.experiment import generate_stream
 from repro.workloads.specs import Workload
@@ -104,6 +103,23 @@ def run_load_test(
     the request count so the full 14-test sweep stays laptop-sized
     while preserving the qps ratios between tests.
     """
+    result, _ = _run_load_test_instrumented(
+        spec, workload, factory, replica, duration_minutes, scale, seed
+    )
+    return result
+
+
+def _run_load_test_instrumented(
+    spec: LoadTestSpec,
+    workload: Workload,
+    factory: Callable[[], TracingFramework] | None,
+    replica: str,
+    duration_minutes: float = 1.0,
+    scale: float = 0.1,
+    seed: int = 21,
+) -> tuple[LoadTestResult, TracingFramework | None]:
+    """Like :func:`run_load_test` but hands back the driven framework,
+    so callers can read framework-specific meters (per-shard ledgers)."""
     limited = restrict_apis(workload, spec.api_count)
     num_traces = max(20, int(spec.qps * 60 * duration_minutes * scale / 10))
     stream, _ = generate_stream(
@@ -115,14 +131,17 @@ def run_load_test(
     )
     ingress = sum(encoded_size(trace) for _, trace in stream)
     if factory is None:
-        return LoadTestResult(
-            test=spec.name,
-            replica=replica,
-            ingress_bytes=ingress,
-            egress_bytes=0,
-            cpu_seconds=0.0,
-            memory_bytes=0,
-            request_latency_overhead_ms=0.0,
+        return (
+            LoadTestResult(
+                test=spec.name,
+                replica=replica,
+                ingress_bytes=ingress,
+                egress_bytes=0,
+                cpu_seconds=0.0,
+                memory_bytes=0,
+                request_latency_overhead_ms=0.0,
+            ),
+            None,
         )
     framework = factory()
     started = time.perf_counter()
@@ -134,14 +153,71 @@ def run_load_test(
     cpu = time.perf_counter() - started
     total_spans = sum(len(trace.spans) for _, trace in stream)
     per_span_ms = (cpu / max(1, total_spans)) * 1000.0
-    return LoadTestResult(
-        test=spec.name,
-        replica=replica,
-        ingress_bytes=ingress,
-        egress_bytes=framework.network_bytes,
-        cpu_seconds=cpu,
-        memory_bytes=tracing_memory_bytes(framework),
-        request_latency_overhead_ms=per_span_ms,
+    return (
+        LoadTestResult(
+            test=spec.name,
+            replica=replica,
+            ingress_bytes=ingress,
+            egress_bytes=framework.network_bytes,
+            cpu_seconds=cpu,
+            memory_bytes=tracing_memory_bytes(framework),
+            request_latency_overhead_ms=per_span_ms,
+        ),
+        framework,
+    )
+
+
+@dataclass
+class ShardedLoadTestResult:
+    """One Fig. 14-style load test against the sharded collection plane.
+
+    ``overall`` is comparable 1:1 with a single-backend
+    :class:`LoadTestResult`; ``shard_egress_bytes`` /
+    ``shard_storage_bytes`` split the same run by owning shard
+    (physical bytes — summed shard storage exceeds the overall figure
+    by exactly ``replicated_pattern_bytes``).
+    """
+
+    overall: LoadTestResult
+    num_shards: int
+    shard_egress_bytes: list[int] = field(default_factory=list)
+    shard_storage_bytes: list[int] = field(default_factory=list)
+    replicated_pattern_bytes: int = 0
+
+
+def run_sharded_load_test(
+    spec: LoadTestSpec,
+    workload: Workload,
+    num_shards: int,
+    duration_minutes: float = 1.0,
+    scale: float = 0.1,
+    seed: int = 21,
+    auto_warmup_traces: int = 30,
+) -> ShardedLoadTestResult:
+    """Drive one load test against Mint fanned over ``num_shards``.
+
+    The replica name carries the shard count (``Mint x4``) so sweeps
+    at 1/2/4/8 shards report side by side.
+    """
+    result, framework = _run_load_test_instrumented(
+        spec,
+        workload,
+        lambda: ShardedMintFramework(
+            num_shards=num_shards, auto_warmup_traces=auto_warmup_traces
+        ),
+        f"Mint x{num_shards}",
+        duration_minutes,
+        scale,
+        seed,
+    )
+    assert isinstance(framework, ShardedMintFramework)
+    rows = framework.shard_meter_rows()
+    return ShardedLoadTestResult(
+        overall=result,
+        num_shards=num_shards,
+        shard_egress_bytes=[row.network_bytes for row in rows],
+        shard_storage_bytes=[row.storage_bytes for row in rows],
+        replicated_pattern_bytes=framework.backend.merged.replicated_pattern_bytes(),
     )
 
 

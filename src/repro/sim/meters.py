@@ -122,3 +122,29 @@ class OverheadLedger:
             "network_bytes": self.network.total_bytes,
             "storage_bytes": self.storage.total_bytes,
         }
+
+
+@dataclass
+class ShardLedgerRow:
+    """One shard's ledger snapshot in a sharded deployment.
+
+    The single shared row shape for per-shard meter reporting
+    (framework, experiment and load-test layers all speak it); these
+    are physical per-shard bytes — summed shard storage can exceed the
+    deployment figure by the merge layer's replicated pattern bytes.
+    ``hosts`` is filled by reporting layers that know the placement.
+    """
+
+    shard: int
+    network_bytes: int
+    storage_bytes: int
+    hosts: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, object]:
+        """Snapshot for machine-readable reports."""
+        return {
+            "shard": self.shard,
+            "network_bytes": self.network_bytes,
+            "storage_bytes": self.storage_bytes,
+            "hosts": list(self.hosts),
+        }

@@ -78,7 +78,9 @@ def _tier_attributes(dataset: str, api_index: int, tier: int) -> dict:
         base["mq.topic"] = cat.mq_topic(entity)
         base["payload.bytes"] = cat.payload_bytes(1024.0)
     else:
-        base["rpc.method"] = cat.grpc_method("alibaba.inner", f"Tier{tier}Service", f"Handle{api_index}")
+        base["rpc.method"] = cat.grpc_method(
+            "alibaba.inner", f"Tier{tier}Service", f"Handle{api_index}"
+        )
         base["db.statement"] = cat.sql_insert(f"{entity}_audit", ["audit_id", "actor_id"])
     return base
 

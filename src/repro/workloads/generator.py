@@ -13,9 +13,9 @@ import random
 from typing import Iterator
 
 from repro.model.ids import IdGenerator
-from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.span import Span, SpanKind
 from repro.model.trace import Trace
-from repro.workloads.specs import ApiSpec, CallSpec, NumericAttributeSpec, Workload
+from repro.workloads.specs import ApiSpec, CallSpec, Workload
 
 
 _RESOURCE_TEMPLATE = (

@@ -71,7 +71,9 @@ def _rest(service: str, op: str, *, sql_table: str | None = None,
           children: list[CallSpec] | None = None, ms: float = 4.0) -> CallSpec:
     """A REST handler span with a standard attribute set."""
     attributes = {
-        "http.url": cat.http_url("trainticket", service.removeprefix("ts-").removesuffix("-service"), op),
+        "http.url": cat.http_url(
+            "trainticket", service.removeprefix("ts-").removesuffix("-service"), op
+        ),
         "thread.name": cat.thread_name("8080"),
         "app.context": cat.request_context(service),
     }
@@ -187,21 +189,45 @@ def build_trainticket() -> Workload:
                     "ts-preserve-service",
                     "POST /preserve/order",
                     children=[
-                        _rest("ts-contacts-service", "GET /contacts/byAccount", sql_table="contacts"),
-                        _rest("ts-security-service", "GET /security/check", sql_table="security_rules"),
+                        _rest(
+                            "ts-contacts-service",
+                            "GET /contacts/byAccount",
+                            sql_table="contacts",
+                        ),
+                        _rest(
+                            "ts-security-service",
+                            "GET /security/check",
+                            sql_table="security_rules",
+                        ),
                         _travel_query("ts-travel-service"),
-                        _rest("ts-assurance-service", "POST /assurance/create", sql_table="assurances"),
+                        _rest(
+                            "ts-assurance-service",
+                            "POST /assurance/create",
+                            sql_table="assurances",
+                        ),
                         _rest(
                             "ts-food-service",
                             "POST /food/order",
                             sql_table="food_orders",
-                            children=[_rest("ts-food-map-service", "GET /foodmap/byTrip", sql_table="food_map")],
+                            children=[
+                                _rest(
+                                    "ts-food-map-service",
+                                    "GET /foodmap/byTrip",
+                                    sql_table="food_map",
+                                )
+                            ],
                         ),
                         _rest(
                             "ts-order-service",
                             "POST /orders/create",
                             sql_table="orders",
-                            children=[_rest("ts-notification-service", "POST /notify/preserve", ms=3.0)],
+                            children=[
+                                _rest(
+                                    "ts-notification-service",
+                                    "POST /notify/preserve",
+                                    ms=3.0,
+                                )
+                            ],
                         ),
                     ],
                     ms=9.0,
@@ -268,7 +294,11 @@ def build_trainticket() -> Workload:
                     children=[
                         _rest("ts-consign-price-service", "GET /consignPrice/byWeight",
                               sql_table="consign_prices"),
-                        _rest("ts-delivery-service", "POST /delivery/schedule", sql_table="deliveries"),
+                        _rest(
+                            "ts-delivery-service",
+                            "POST /delivery/schedule",
+                            sql_table="deliveries",
+                        ),
                     ],
                 ),
             ],
@@ -287,7 +317,11 @@ def build_trainticket() -> Workload:
                     "GET /adminorder/all",
                     children=[
                         _rest("ts-order-service", "GET /orders/all", sql_table="orders"),
-                        _rest("ts-order-other-service", "GET /orderOther/all", sql_table="orders_other"),
+                        _rest(
+                            "ts-order-other-service",
+                            "GET /orderOther/all",
+                            sql_table="orders_other",
+                        ),
                     ],
                 )
             ],

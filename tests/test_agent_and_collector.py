@@ -7,7 +7,7 @@ from repro.agent.collector import MintCollector
 from repro.agent.config import MintConfig
 from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport
 from repro.model.trace import SubTrace
-from tests.conftest import make_chain_trace, make_span
+from tests.conftest import make_span
 
 
 def local_subtrace(trace_id: str, abnormal: bool = False) -> SubTrace:

@@ -50,7 +50,6 @@ class TestMounting:
             lib.register_and_mount(pattern, f"{i:032x}")
         # After a flush the fresh filter must not contain early ids.
         if flushed:
-            early = "0" * 31 + "0"
             pattern_id = pattern.pattern_id
             recent_only = lib.active_filters()[pattern_id]
             assert len(recent_only) < 200

@@ -132,6 +132,47 @@ class TestCrossAgentCoordination:
         backend.notify_sampled("1" * 32, origin_node="other-node")
         assert charges and charges[0][0] == "node-0"
 
+    def test_notify_meter_charges_each_non_origin_collector_once(self):
+        charges = []
+        backend = MintBackend(notify_meter=lambda node, b: charges.append((node, b)))
+        nodes = [f"node-{i}" for i in range(4)]
+        for node in nodes:
+            backend.register_collector(MintCollector(MintAgent(node=node), backend.receive))
+        backend.notify_sampled("1" * 32, origin_node="node-1")
+        # One fixed-size control message per collector minus the origin.
+        assert sorted(node for node, _ in charges) == ["node-0", "node-2", "node-3"]
+        assert {nbytes for _, nbytes in charges} == {64}
+
+    def test_notify_dedup_with_multiple_collectors(self):
+        charges = []
+        backend = MintBackend(notify_meter=lambda node, b: charges.append((node, b)))
+        for node in ("node-0", "node-1", "node-2"):
+            backend.register_collector(MintCollector(MintAgent(node=node), backend.receive))
+        backend.notify_sampled("1" * 32, origin_node="node-0")
+        first = list(charges)
+        assert len(first) == 2
+        # A repeat — same or different origin — must not re-charge or
+        # re-notify: _notified_trace_ids dedups per trace id.
+        backend.notify_sampled("1" * 32, origin_node="node-2")
+        backend.notify_sampled("1" * 32)
+        assert charges == first
+        assert "1" * 32 in backend.storage.sampled_trace_ids
+
+    def test_notify_marks_every_collector_sampled(self):
+        backend = MintBackend()
+        collectors = [
+            MintCollector(MintAgent(node=f"node-{i}"), backend.receive)
+            for i in range(3)
+        ]
+        for collector in collectors:
+            backend.register_collector(collector)
+        backend.notify_sampled("1" * 32, origin_node="node-0")
+        # Non-origin collectors learned the decision; the origin's own
+        # collector tracks it via its local sampling path instead.
+        assert "1" * 32 not in collectors[0].sampled_trace_ids
+        for collector in collectors[1:]:
+            assert "1" * 32 in collector.sampled_trace_ids
+
 
 class TestStitching:
     def test_cross_node_approximate_trace_ordered(self):

@@ -1,6 +1,5 @@
 """Unit tests for the Mint framework adapter (agents + backend wired)."""
 
-from repro.agent.config import MintConfig
 from repro.baselines.mint_framework import MintFramework
 from repro.baselines.otel import OTFull
 from tests.conftest import make_chain_trace
@@ -36,7 +35,6 @@ class TestIngestAndWarmup:
 
     def test_agents_created_per_node(self):
         mint = small_mint()
-        trace = make_chain_trace(depth=4, trace_id="a" * 32, nodes=("n0", "n1", "n2"))
         for i in range(6):
             mint.process_trace(
                 make_chain_trace(depth=4, trace_id=f"{i:032x}", nodes=("n0", "n1", "n2")),

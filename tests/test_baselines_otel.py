@@ -43,7 +43,6 @@ class TestOTHead:
 
     def test_sampled_fraction_near_rate(self):
         fw = OTHead(rate=0.1, seed=4)
-        stored = 0
         for i in range(2000):
             trace = make_chain_trace(depth=1, trace_id=f"{i:032x}")
             fw.process_trace(trace, 0.0)

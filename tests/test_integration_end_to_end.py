@@ -8,7 +8,6 @@ harness that the benchmarks build on.
 
 import pytest
 
-from repro.agent.config import MintConfig
 from repro.baselines import Hindsight, MintFramework, OTFull, OTHead, OTTail, Sieve
 from repro.sim.experiment import (
     generate_stream,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model.span import Span, SpanKind, SpanStatus
+from repro.model.span import SpanKind, SpanStatus
 from tests.conftest import make_span
 
 

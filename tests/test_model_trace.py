@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.model.span import SpanKind, SpanStatus
-from repro.model.trace import SubTrace, Trace, group_spans_by_trace
+from repro.model.span import SpanStatus
+from repro.model.trace import Trace, group_spans_by_trace
 from tests.conftest import make_chain_trace, make_span
 
 

@@ -1,6 +1,5 @@
 """Unit tests for exponential-interval bucketing."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model.span import SpanKind, SpanStatus
+from repro.model.span import SpanStatus
 from repro.parsing.span_parser import (
     DURATION_KEY,
     NUMERIC_MARKER,

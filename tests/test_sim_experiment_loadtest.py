@@ -5,9 +5,9 @@ import pytest
 from repro.baselines import MintFramework, OTFull, OTHead
 from repro.sim.experiment import (
     FrameworkRun,
-    generate_stream,
     rca_views_for_framework,
     run_experiment,
+    run_sharded_experiment,
 )
 from repro.sim.loadtest import (
     FIG14_LOAD_TESTS,
@@ -15,6 +15,7 @@ from repro.sim.loadtest import (
     measure_query_latency,
     restrict_apis,
     run_load_test,
+    run_sharded_load_test,
     tracing_memory_bytes,
 )
 from repro.workloads import build_onlineboutique
@@ -80,6 +81,63 @@ class TestRcaViews:
     def test_missing_framework_gives_empty(self):
         run = FrameworkRun("x", 0, 0, 0.0, framework=None)
         assert rca_views_for_framework(run, []) == []
+
+
+class TestShardedExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sharded_experiment(
+            build_onlineboutique(),
+            shard_counts=(1, 2),
+            num_traces=100,
+            seed=4,
+            auto_warmup_traces=25,
+        )
+
+    def test_invariant_holds(self, result):
+        assert result.invariant, result.violations
+        assert result.violations == []
+
+    def test_all_shard_counts_ran(self, result):
+        assert set(result.runs) == {1, 2}
+        assert result.trace_count == 100
+        for run in result.runs.values():
+            assert run.hits == result.reference.hits
+            assert run.network_bytes == result.reference.network_bytes
+            assert run.storage_bytes == result.reference.storage_bytes
+
+    def test_per_shard_meters_reported(self, result):
+        for count, rows in result.shard_meters.items():
+            assert len(rows) == count
+            assert sum(r.network_bytes for r in rows) == result.runs[count].network_bytes
+            hosts = [host for row in rows for host in row.hosts]
+            assert len(hosts) == len(set(hosts))
+        assert set(result.replicated_pattern_bytes) == {1, 2}
+        assert result.replicated_pattern_bytes[1] == 0
+
+
+class TestShardedLoadTest:
+    def test_sharded_load_test_splits_by_shard(self):
+        spec = LoadTestSpec("T", qps=200, api_count=2)
+        result = run_sharded_load_test(
+            spec, build_onlineboutique(), num_shards=4
+        )
+        assert result.overall.replica == "Mint x4"
+        assert result.num_shards == 4
+        assert len(result.shard_egress_bytes) == 4
+        assert sum(result.shard_egress_bytes) == result.overall.egress_bytes
+        # Shards persist real bytes; replication never exceeds what the
+        # shards physically hold.
+        assert sum(result.shard_storage_bytes) > 0
+        assert 0 <= result.replicated_pattern_bytes < sum(result.shard_storage_bytes)
+
+    def test_single_shard_load_test_matches_reference_shape(self):
+        spec = LoadTestSpec("T", qps=200, api_count=1)
+        result = run_sharded_load_test(
+            spec, build_onlineboutique(), num_shards=1
+        )
+        assert result.shard_egress_bytes == [result.overall.egress_bytes]
+        assert result.replicated_pattern_bytes == 0
 
 
 class TestLoadTests:

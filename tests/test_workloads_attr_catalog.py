@@ -6,7 +6,6 @@ import pytest
 
 from repro.parsing.clustering import cluster_strings
 from repro.workloads import attr_catalog as cat
-from repro.workloads.specs import NumericAttributeSpec, StringAttributeSpec
 
 
 @pytest.fixture()
