@@ -21,7 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
+from repro.baselines.mint_framework import MintFramework
+from repro.transport import Deployment
 from repro.model.trace import Trace
 from repro.sim.experiment import generate_stream
 from repro.workloads import build_dataset, build_onlineboutique, build_trainticket
@@ -164,8 +165,9 @@ def measure_sharded(
     reports: list[InvarianceReport] = []
     for count in shard_counts:
         def factory(count=count):
-            return ShardedMintFramework(
-                num_shards=count, auto_warmup_traces=warmup_traces
+            return MintFramework(
+                deployment=Deployment.sharded(count),
+                auto_warmup_traces=warmup_traces,
             )
 
         elapsed, framework = _best_of(factory, stream, repeats)
@@ -227,7 +229,7 @@ def _measurement(
     hits: dict[str, int],
     trace_count: int,
 ) -> ShardedMeasurement:
-    if isinstance(framework, ShardedMintFramework):
+    if framework.deployment.is_sharded:
         rows = framework.shard_meter_rows()
         shard_storage = [row.storage_bytes for row in rows]
         shard_network = [row.network_bytes for row in rows]

@@ -6,6 +6,11 @@ few thousand spans survive per window; with Mint, unsampled traces
 contribute approximate spans (execution paths + bucket-mapped
 durations), multiplying the analysable population.
 
+This example runs Mint over a *sharded* deployment
+(``Deployment.sharded(2)``) to show that batch analysis is topology
+blind: the merged view answers exactly like a single backend would,
+so the analysis code never knows the collection plane is two boxes.
+
 Run:  python examples/batch_analysis.py
 """
 
@@ -13,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 
-from repro import MintFramework, OTHead
+from repro import Deployment, MintFramework, OTHead
 from repro.workloads import WorkloadDriver, build_onlineboutique
 
 NUM_TRACES = 1200
@@ -23,7 +28,7 @@ def main() -> None:
     workload = build_onlineboutique()
     driver = WorkloadDriver(workload, seed=21, requests_per_minute=6000)
 
-    mint = MintFramework()
+    mint = MintFramework(deployment=Deployment.sharded(2))
     head = OTHead(rate=0.05)
 
     traces = []

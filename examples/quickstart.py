@@ -1,16 +1,23 @@
 """Quickstart: trace an e-commerce workload with Mint and query it.
 
 Runs OnlineBoutique traffic through a Mint deployment (one agent per
-node, shared backend), then demonstrates the headline property: every
-trace is queryable — sampled traces exactly, the rest approximately —
-at a few percent of full tracing's cost.
+node, a backend built from a ``Deployment`` topology descriptor), then
+demonstrates the headline property: every trace is queryable — sampled
+traces exactly, the rest approximately — at a few percent of full
+tracing's cost.
+
+The ``Deployment`` is the only knob between a laptop run and a
+horizontally scaled one: swap ``Deployment.single()`` for
+``Deployment.sharded(4)`` and the same code runs over four backend
+shards with identical query results and byte tables (the topology
+invariance contract).
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import MintFramework, OTFull
+from repro import Deployment, MintFramework, OTFull
 from repro.workloads import build_onlineboutique, WorkloadDriver
 
 NUM_TRACES = 1500
@@ -20,7 +27,8 @@ def main() -> None:
     workload = build_onlineboutique()
     driver = WorkloadDriver(workload, seed=1, requests_per_minute=6000)
 
-    mint = MintFramework()           # the paper's system
+    # The paper's system; try deployment=Deployment.sharded(4).
+    mint = MintFramework(deployment=Deployment.single())
     full = OTFull()                  # the no-reduction reference
 
     print(f"Tracing {NUM_TRACES} requests across {len(workload.nodes)} nodes...")

@@ -31,6 +31,7 @@ Package map: :mod:`repro.model` (trace data model),
 
 from repro.agent.config import MintConfig
 from repro.baselines.mint_framework import MintFramework
+from repro.transport import Deployment
 from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.hindsight import Hindsight
 from repro.baselines.sieve import Sieve
@@ -42,6 +43,7 @@ __version__ = "1.0.0"
 __all__ = [
     "MintConfig",
     "MintFramework",
+    "Deployment",
     "OTFull",
     "OTHead",
     "OTTail",

@@ -9,28 +9,38 @@ backend requests via :meth:`MintCollector.request_params`.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Union
 
 from repro.agent.agent import IngestResult, MintAgent
 from repro.agent.config import MintConfig
 from repro.agent.pattern_library import FlushedBloom
-from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport, Report
+from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport
 from repro.model.trace import SubTrace
+from repro.transport.wire import ReportSender
 
-Transport = Callable[[Report], None]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transport.transport import Transport
 
 
 class MintCollector:
-    """Drives one agent's uploads over a transport to the backend."""
+    """Drives one agent's uploads over a transport to the backend.
+
+    ``transport`` is either a deployment-plane
+    :class:`~repro.transport.transport.Transport` (reports go through
+    ``deliver``, metered at the wire) or any bare report callable such
+    as ``backend.receive`` — handy for direct-wired tests.
+    """
 
     def __init__(
         self,
         agent: MintAgent,
-        transport: Transport,
+        transport: Union["Transport", ReportSender],
         config: MintConfig | None = None,
     ) -> None:
         self.agent = agent
         self.transport = transport
+        deliver = getattr(transport, "deliver", None)
+        self._send: ReportSender = deliver if callable(deliver) else transport
         self.config = config or agent.config
         self._reported_span_pattern_ids: set[str] = set()
         self._reported_topo_pattern_ids: set[str] = set()
@@ -114,10 +124,10 @@ class MintCollector:
         )
         self._reported_span_pattern_ids.update(p["pattern_id"] for p in span_patterns)
         self._reported_topo_pattern_ids.update(p["pattern_id"] for p in topo_patterns)
-        self.transport(report)
+        self._send(report)
 
     def _send_bloom(self, flushed: FlushedBloom) -> None:
-        self.transport(
+        self._send(
             BloomReport(
                 node=flushed.node,
                 topo_pattern_id=flushed.topo_pattern_id,
@@ -137,7 +147,7 @@ class MintCollector:
         records = [
             span.compact_record(library.get(span.pattern_id)) for span in block.spans
         ]
-        self.transport(ParamsReport(node=self.node, trace_id=trace_id, records=records))
+        self._send(ParamsReport(node=self.node, trace_id=trace_id, records=records))
         self._uploaded_blocks.add(key)
         # The block has been persisted; free the buffer space.
         self.agent.params_buffer.pop(trace_id)

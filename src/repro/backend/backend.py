@@ -5,33 +5,22 @@ and parameter reports; when any node marks a trace sampled, notifies
 every registered collector so parameters scattered across hosts are all
 uploaded ("Backend notifies hosts to report all parameters of the
 sampled trace"), preserving trace coherence.
+
+All deployment-shared behaviour (collector registry, report dispatch,
+idempotent notify, query with retroactive pull) lives in
+:class:`~repro.transport.plane.BackendPlane`; this class binds it to
+the degenerate topology — one storage engine owning every node.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
-
-from repro.agent.reports import (
-    BloomReport,
-    ParamsReport,
-    PatternLibraryReport,
-    Report,
-)
-from repro.backend.querier import Querier, QueryResult
+from repro.backend.querier import Querier
 from repro.backend.storage import StorageEngine
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.agent.collector import MintCollector
-
-# Called with (collector_node, payload_bytes) whenever the backend sends
-# a control message to a collector, so simulations can charge the
-# backend->agent direction of the network.
-NotifyMeter = Callable[[str, int], None]
-
-_NOTIFY_MESSAGE_BYTES = 64  # trace id + header, the paper's "check and report" ping
+from repro.transport.plane import BackendPlane
+from repro.transport.wire import NotifyMeter
 
 
-class MintBackend:
+class MintBackend(BackendPlane):
     """Unified backend with storage engine and querier."""
 
     def __init__(
@@ -40,67 +29,12 @@ class MintBackend:
         bloom_fpp: float = 0.01,
         notify_meter: NotifyMeter | None = None,
     ) -> None:
+        super().__init__(notify_meter=notify_meter)
         self.storage = StorageEngine(
             bloom_buffer_bytes=bloom_buffer_bytes, bloom_fpp=bloom_fpp
         )
         self.querier = Querier(self.storage)
-        self._collectors: list["MintCollector"] = []
-        self._notify_meter = notify_meter
-        self._notified_trace_ids: set[str] = set()
 
-    def register_collector(self, collector: "MintCollector") -> None:
-        """Attach a collector for cross-agent parameter pulls."""
-        self._collectors.append(collector)
-
-    def receive(self, report: Report) -> None:
-        """Ingest one report from a collector."""
-        if isinstance(report, PatternLibraryReport):
-            self.storage.store_pattern_report(report)
-        elif isinstance(report, BloomReport):
-            self.storage.store_bloom_report(report)
-        elif isinstance(report, ParamsReport):
-            self.storage.store_params_report(report)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown report type: {type(report)!r}")
-
-    def notify_sampled(self, trace_id: str, origin_node: str | None = None) -> None:
-        """Propagate a sampling decision to every other collector.
-
-        Idempotent per trace id; each notified collector uploads its
-        buffered parameters for the trace (if any).
-        """
-        if trace_id in self._notified_trace_ids:
-            return
-        self._notified_trace_ids.add(trace_id)
-        self.storage.sampled_trace_ids.add(trace_id)
-        for collector in self._collectors:
-            if origin_node is not None and collector.node == origin_node:
-                continue
-            if self._notify_meter is not None:
-                self._notify_meter(collector.node, _NOTIFY_MESSAGE_BYTES)
-            collector.mark_sampled(trace_id)
-
-    def query(self, trace_id: str, pull_params: bool = False) -> QueryResult:
-        """Answer a user trace query (exact / partial / miss).
-
-        With ``pull_params`` (the 'Query Trace ID' arrow into sampling
-        in paper Fig. 9), a partial result triggers a retroactive
-        parameter pull: the backend asks every collector to upload the
-        trace's parameters if they are still buffered, upgrading the
-        answer to exact when the buffers cooperate.
-        """
-        result = self.querier.query(trace_id)
-        if not pull_params or result.status != "partial":
-            return result
-        pulled = False
-        for collector in self._collectors:
-            if collector.request_params(trace_id):
-                pulled = True
-        if pulled:
-            self.storage.sampled_trace_ids.add(trace_id)
-            return self.querier.query(trace_id)
-        return result
-
-    def storage_bytes(self) -> int:
-        """Total persisted bytes."""
-        return self.storage.storage_bytes()
+    def _engine_for(self, node: str) -> StorageEngine:
+        """Every node routes to the one engine (the N=1 case)."""
+        return self.storage

@@ -41,17 +41,17 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.agent.reports import (
     BloomReport,
-    ParamsReport,
     PatternLibraryReport,
     Report,
 )
-from repro.backend.backend import _NOTIFY_MESSAGE_BYTES, NotifyMeter
 from repro.backend.querier import Querier, QueryResult
 from repro.backend.storage import StorageEngine, StoredBloom
 from repro.bloom.bloom_filter import BloomFilter
 from repro.model.encoding import encoded_size
 from repro.parsing.span_parser import SpanPattern
 from repro.parsing.trace_parser import TopoPattern
+from repro.transport.plane import BackendPlane
+from repro.transport.wire import NotifyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.agent.collector import MintCollector
@@ -425,15 +425,19 @@ class ShardSummary:
         }
 
 
-class ShardedBackend:
+class ShardedBackend(BackendPlane):
     """N hash-partitioned shards behind a MintBackend-shaped facade.
 
-    Drop-in for :class:`~repro.backend.backend.MintBackend`: the same
-    ``register_collector`` / ``receive`` / ``notify_sampled`` / ``query``
-    / ``storage_bytes`` surface, plus per-shard introspection.  Reports
-    are routed to the shard owning their origin host; queries are
-    answered by the :class:`ShardedQuerier` over the merged view;
-    sampling notifications broadcast to the whole fleet.
+    Drop-in for :class:`~repro.backend.backend.MintBackend`: both run
+    the same :class:`~repro.transport.plane.BackendPlane` code for
+    collector registry, report dispatch, fleet-wide idempotent
+    notification and queries — this class only supplies the topology:
+    reports route to the shard owning their origin host
+    (:meth:`_engine_for`), every stored report folds into the merge
+    layer (:meth:`_observe_stored`), and queries are answered by the
+    :class:`ShardedQuerier` over the merged view.  Sampling
+    notifications broadcast to the whole fleet because the dedup set
+    and collector registry live in the plane, above the shards.
     """
 
     def __init__(
@@ -445,6 +449,7 @@ class ShardedBackend:
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        super().__init__(notify_meter=notify_meter)
         self.num_shards = num_shards
         self.shards = [
             StorageEngine(bloom_buffer_bytes=bloom_buffer_bytes, bloom_fpp=bloom_fpp)
@@ -452,10 +457,7 @@ class ShardedBackend:
         ]
         self.merged = MergedStorageView(self.shards)
         self.querier = ShardedQuerier(self.merged)
-        self._collectors: list["MintCollector"] = []
         self._collector_shards: list[int] = []
-        self._notify_meter = notify_meter
-        self._notified_trace_ids: set[str] = set()
 
     # The framework and tests read ``backend.storage`` for byte tables
     # and stored-trace enumeration; the merged view plays that role.
@@ -464,9 +466,20 @@ class ShardedBackend:
         """The single-backend-equivalent merged storage view."""
         return self.merged
 
+    # ------------------------------------------------------------------
+    # Topology (the BackendPlane contract)
+    # ------------------------------------------------------------------
     def shard_for(self, node: str) -> int:
         """The shard owning ``node`` (stable hash partition)."""
         return shard_for_key(node, self.num_shards)
+
+    def _engine_for(self, node: str) -> StorageEngine:
+        """Route to the engine of the shard owning the origin host."""
+        return self.shards[self.shard_for(node)]
+
+    def _observe_stored(self, report: Report, engine: StorageEngine) -> None:
+        """Fold every routed, stored report into the merge layer."""
+        self.merged.observe_report(report, engine)
 
     # ------------------------------------------------------------------
     # Collector plane
@@ -477,7 +490,7 @@ class ShardedBackend:
         Registration order is preserved globally so notification
         fan-out visits collectors exactly as one backend would.
         """
-        self._collectors.append(collector)
+        super().register_collector(collector)
         self._collector_shards.append(self.shard_for(collector.node))
 
     def collectors_on_shard(self, shard: int) -> list["MintCollector"]:
@@ -488,68 +501,9 @@ class ShardedBackend:
             if owner == shard
         ]
 
-    def receive(self, report: Report) -> None:
-        """Route one report to its origin host's shard, then merge."""
-        shard = self.shards[self.shard_for(report.node)]
-        if isinstance(report, PatternLibraryReport):
-            shard.store_pattern_report(report)
-        elif isinstance(report, BloomReport):
-            shard.store_bloom_report(report)
-        elif isinstance(report, ParamsReport):
-            shard.store_params_report(report)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown report type: {type(report)!r}")
-        self.merged.observe_report(report, shard)
-
-    def notify_sampled(self, trace_id: str, origin_node: str | None = None) -> None:
-        """Broadcast a sampling decision across every shard's hosts.
-
-        Idempotent per trace id fleet-wide: the first notification, no
-        matter which shard's host sampled, reaches every other
-        registered collector exactly once — the cross-shard
-        reconciliation that keeps "backend notifies all hosts" true
-        when the backend is N boxes.
-        """
-        if trace_id in self._notified_trace_ids:
-            return
-        self._notified_trace_ids.add(trace_id)
-        self.merged.mark_sampled(trace_id)
-        for collector in self._collectors:
-            if origin_node is not None and collector.node == origin_node:
-                continue
-            if self._notify_meter is not None:
-                self._notify_meter(collector.node, _NOTIFY_MESSAGE_BYTES)
-            collector.mark_sampled(trace_id)
-
-    # ------------------------------------------------------------------
-    # Query plane
-    # ------------------------------------------------------------------
-    def query(self, trace_id: str, pull_params: bool = False) -> QueryResult:
-        """Fan the query out and merge — same contract as MintBackend.
-
-        ``pull_params`` retains the retroactive-pull upgrade: on a
-        partial hit every collector fleet-wide is asked for buffered
-        parameters before re-querying.
-        """
-        result = self.querier.query(trace_id)
-        if not pull_params or result.status != "partial":
-            return result
-        pulled = False
-        for collector in self._collectors:
-            if collector.request_params(trace_id):
-                pulled = True
-        if pulled:
-            self.merged.mark_sampled(trace_id)
-            return self.querier.query(trace_id)
-        return result
-
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def storage_bytes(self) -> int:
-        """Merged (deduplicated) persisted bytes — Fig. 11's metric."""
-        return self.merged.storage_bytes()
-
     def shard_summaries(self) -> list[ShardSummary]:
         """Per-shard byte tables for the scaling experiments."""
         hosts_by_shard: dict[int, list[str]] = {i: [] for i in range(self.num_shards)}

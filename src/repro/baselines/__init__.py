@@ -9,9 +9,10 @@ comparison is apples-to-apples:
 * ``OTTail`` — tail sampling on the ``is_abnormal`` tag;
 * ``Hindsight`` — retroactive sampling with breadcrumbs (NSDI '23);
 * ``Sieve`` — RRCF-based biased tail sampling (ICWS '21);
-* ``MintFramework`` — this paper;
-* ``ShardedMintFramework`` — this paper's pipeline over N backend
-  shards (shard-count-invariant by construction).
+* ``MintFramework`` — this paper; its
+  :class:`~repro.transport.deployment.Deployment` parameter selects the
+  topology (single backend, or N shards — shard-count-invariant by
+  construction), so one class covers every deployment.
 """
 
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
@@ -19,7 +20,7 @@ from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.hindsight import Hindsight
 from repro.baselines.rrcf import RobustRandomCutForest, RandomCutTree
 from repro.baselines.sieve import Sieve
-from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
+from repro.baselines.mint_framework import MintFramework
 
 __all__ = [
     "TracingFramework",
@@ -32,5 +33,4 @@ __all__ = [
     "RobustRandomCutForest",
     "RandomCutTree",
     "MintFramework",
-    "ShardedMintFramework",
 ]

@@ -1,10 +1,18 @@
 """Mint behind the common :class:`TracingFramework` interface.
 
 Deploys one agent + collector per application node (nodes are
-discovered from incoming spans), a shared backend, and transports that
-charge the network meter with every report's wire size.  Storage is
-whatever the backend's storage engine actually persists — patterns,
-Bloom filters and sampled parameters.
+discovered from incoming spans), a backend plane built from a
+:class:`~repro.transport.deployment.Deployment` descriptor, and a
+:class:`~repro.transport.transport.LocalTransport` that charges the
+network and storage meters at the wire.  Storage is whatever the
+backend's storage engine actually persists — patterns, Bloom filters
+and sampled parameters.
+
+There is no sharded subclass: ``MintFramework(deployment=
+Deployment.sharded(4))`` runs the identical agent/collector fleet over
+four backend shards, with per-shard ledgers charged by the same
+transport.  Topology never perturbs parsing or sampling — query
+results and byte tables are invariant across deployments by contract.
 """
 
 from __future__ import annotations
@@ -14,21 +22,27 @@ from typing import Callable, Iterable
 from repro.agent.agent import MintAgent
 from repro.agent.collector import MintCollector
 from repro.agent.config import MintConfig
-from repro.agent.reports import Report
 from repro.agent.samplers import Sampler
-from repro.backend.backend import MintBackend
 from repro.backend.querier import QueryResult
-from repro.backend.sharded import ShardedBackend, ShardSummary
+from repro.backend.sharded import ShardSummary
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
 from repro.model.span import Span
 from repro.model.trace import Trace
 from repro.sim.meters import OverheadLedger, ShardLedgerRow
+from repro.transport import Deployment, LocalTransport
 
 SamplerFactory = Callable[[], Sampler]
 
 
 class MintFramework(TracingFramework):
-    """The full Mint deployment as one comparable framework."""
+    """The full Mint deployment as one comparable framework.
+
+    ``deployment`` selects the topology (default: the single reference
+    backend).  A sharded deployment additionally keeps one
+    :class:`OverheadLedger` per shard, charged by the transport in
+    lockstep with the deployment-wide ledger, giving the per-shard
+    MB/min panels of the scaling experiments.
+    """
 
     name = "Mint"
 
@@ -37,25 +51,32 @@ class MintFramework(TracingFramework):
         config: MintConfig | None = None,
         extra_sampler_factories: list[SamplerFactory] | None = None,
         auto_warmup_traces: int = 100,
+        deployment: Deployment | None = None,
     ) -> None:
         super().__init__()
+        self.deployment = deployment if deployment is not None else Deployment.single()
         self.config = config or MintConfig()
         self._extra_factories = list(extra_sampler_factories or [])
-        self.backend = self._make_backend()
         self._collectors: dict[str, MintCollector] = {}
         self._now = 0.0
         self._warmed_up = False
         self._auto_warmup_traces = auto_warmup_traces
         self._warmup_queue: list[Trace] = []
-        self._last_storage = 0
-
-    def _make_backend(self) -> MintBackend:
-        """Backend construction hook (the sharded deployment overrides)."""
-        return MintBackend(
-            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
-            bloom_fpp=self.config.bloom_fpp,
-            notify_meter=self._charge_notify,
+        self.shard_ledgers = [
+            OverheadLedger() for _ in range(self.deployment.ledger_count)
+        ]
+        self.backend = self.deployment.build_backend(self.config)
+        # The transport is the deployment's only metering point: it
+        # claims the backend's notify meter and charges report bytes,
+        # control pings and storage growth on every attached ledger.
+        self.transport = LocalTransport(
+            backend=self.backend,
+            ledger=self.ledger,
+            clock=lambda: self._now,
+            shard_ledgers=self.shard_ledgers,
         )
+        if self.deployment.is_sharded:
+            self.name = f"Mint-Sharded({self.deployment.num_shards})"
 
     # ------------------------------------------------------------------
     # Warm-up (paper Section 3.2.1 offline stage)
@@ -104,7 +125,7 @@ class MintFramework(TracingFramework):
                 sampled_on.append(sub_trace.node)
         for node in sampled_on:
             self.backend.notify_sampled(trace.trace_id, origin_node=node)
-        self._sync_storage_meter(now)
+        self.transport.sync_storage()
 
     def finalize(self, now: float = 0.0) -> None:
         """Flush warm-up queue, pattern reports, Bloom filters, params."""
@@ -113,7 +134,7 @@ class MintFramework(TracingFramework):
             self._drain_warmup_queue()
         for collector in self._collectors.values():
             collector.flush(now)
-        self._sync_storage_meter(now)
+        self.transport.sync_storage()
 
     # ------------------------------------------------------------------
     # Query
@@ -144,93 +165,20 @@ class MintFramework(TracingFramework):
         )
         collector = MintCollector(
             agent=agent,
-            transport=self._transport,
+            transport=self.transport,
             config=self.config,
         )
         self._collectors[node] = collector
         self.backend.register_collector(collector)
         return collector
 
-    def _transport(self, report: Report) -> None:
-        self.ledger.network.record(report.size_bytes(), self._now)
-        self.backend.receive(report)
-
-    def _charge_notify(self, node: str, nbytes: int) -> None:
-        self.ledger.network.record(nbytes, self._now)
-
-    def _sync_storage_meter(self, now: float) -> None:
-        current = self.backend.storage_bytes()
-        if current > self._last_storage:
-            self.ledger.storage.record(current - self._last_storage, now)
-            self._last_storage = current
-
-
-class ShardedMintFramework(MintFramework):
-    """Mint with the collection plane fanned across N backend shards.
-
-    The agent/collector fleet is wired exactly as in
-    :class:`MintFramework` (one agent per host — sharding must not
-    perturb parsing or sampling), but reports land on a
-    :class:`~repro.backend.sharded.ShardedBackend`, and every byte is
-    charged twice: once on the deployment-wide ledger (comparable to
-    the single-backend numbers) and once on the owning shard's ledger,
-    giving the per-shard MB/min panels of the scaling experiments.
-    """
-
-    name = "Mint-Sharded"
-
-    def __init__(
-        self,
-        num_shards: int = 2,
-        config: MintConfig | None = None,
-        extra_sampler_factories: list[SamplerFactory] | None = None,
-        auto_warmup_traces: int = 100,
-    ) -> None:
-        self.num_shards = num_shards
-        self.shard_ledgers = [OverheadLedger() for _ in range(num_shards)]
-        self._last_shard_storage = [0] * num_shards
-        super().__init__(
-            config=config,
-            extra_sampler_factories=extra_sampler_factories,
-            auto_warmup_traces=auto_warmup_traces,
-        )
-        self.name = f"Mint-Sharded({num_shards})"
-
-    def _make_backend(self) -> ShardedBackend:
-        return ShardedBackend(
-            num_shards=self.num_shards,
-            bloom_buffer_bytes=self.config.bloom_buffer_bytes,
-            bloom_fpp=self.config.bloom_fpp,
-            notify_meter=self._charge_notify,
-        )
-
-    def _transport(self, report: Report) -> None:
-        size = report.size_bytes()
-        shard = self.backend.shard_for(report.node)
-        self.shard_ledgers[shard].network.record(size, self._now)
-        self.ledger.network.record(size, self._now)
-        self.backend.receive(report)
-
-    def _charge_notify(self, node: str, nbytes: int) -> None:
-        # Control messages are egress of the shard owning the notified
-        # host (that shard's frontend sends the ping).
-        self.shard_ledgers[self.backend.shard_for(node)].network.record(
-            nbytes, self._now
-        )
-        self.ledger.network.record(nbytes, self._now)
-
-    def _sync_storage_meter(self, now: float) -> None:
-        super()._sync_storage_meter(now)
-        for i, shard in enumerate(self.backend.shards):
-            current = shard.storage_bytes()
-            if current > self._last_shard_storage[i]:
-                self.shard_ledgers[i].storage.record(
-                    current - self._last_shard_storage[i], now
-                )
-                self._last_shard_storage[i] = current
-
+    # ------------------------------------------------------------------
+    # Per-shard panels (empty for the single deployment)
+    # ------------------------------------------------------------------
     def shard_summaries(self) -> list[ShardSummary]:
         """Per-shard storage tables from the backend."""
+        if not self.deployment.is_sharded:
+            return []
         return self.backend.shard_summaries()
 
     def shard_meter_rows(self) -> list[ShardLedgerRow]:

@@ -14,9 +14,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
+from repro.baselines.mint_framework import MintFramework
 from repro.model.trace import Trace
 from repro.sim.meters import ShardLedgerRow
+from repro.transport import Deployment
 from repro.rca.views import TraceView, view_from_approximate, views_from_traces
 from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
 from repro.workloads.generator import WorkloadDriver
@@ -166,6 +167,7 @@ def run_sharded_experiment(
     requests_per_minute: float = 6000.0,
     seed: int = 1,
     auto_warmup_traces: int = 100,
+    deployments: dict[int, Deployment] | None = None,
 ) -> ShardedScalingResult:
     """The multi-agent topology mode (spans routed by owning service).
 
@@ -174,18 +176,24 @@ def run_sharded_experiment(
     workload's service->node placement routes every span to its owning
     service's host), while collector reports land on the shard owning
     the host.  Mint is run once with the reference single backend and
-    once per requested shard count, then query outcomes and byte
-    tables are cross-checked — a sharded run that diverges from the
-    reference in any hit status, network total or storage table is
-    recorded as an invariance violation.
+    once per :class:`~repro.transport.deployment.Deployment` descriptor
+    (by default ``Deployment.sharded(count)`` per requested count;
+    ``deployments`` overrides descriptors for any subset of the counts
+    — the hook for future transport/topology variants), then query
+    outcomes and byte tables are cross-checked — a run that diverges
+    from the reference in any hit status, network total or storage
+    table is recorded as an invariance violation.
     """
+    deployments = {
+        count: Deployment.sharded(count) for count in shard_counts
+    } | (deployments or {})
     factories: dict[str, FrameworkFactory] = {
         "Mint": lambda: MintFramework(auto_warmup_traces=auto_warmup_traces)
     }
     for count in shard_counts:
         factories[f"Mint x{count}"] = (
-            lambda count=count: ShardedMintFramework(
-                num_shards=count, auto_warmup_traces=auto_warmup_traces
+            lambda deployment=deployments[count]: MintFramework(
+                deployment=deployment, auto_warmup_traces=auto_warmup_traces
             )
         )
     experiment = run_experiment(
@@ -206,7 +214,7 @@ def run_sharded_experiment(
         run = experiment.runs[f"Mint x{count}"]
         result.runs[count] = run
         framework = run.framework
-        if isinstance(framework, ShardedMintFramework):
+        if isinstance(framework, MintFramework) and framework.deployment.is_sharded:
             summaries = {s.shard: s for s in framework.shard_summaries()}
             rows = framework.shard_meter_rows()
             for row in rows:

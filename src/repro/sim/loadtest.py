@@ -16,9 +16,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework, ShardedMintFramework
+from repro.baselines.mint_framework import MintFramework
 from repro.model.encoding import encoded_size
 from repro.sim.experiment import generate_stream
+from repro.transport import Deployment
 from repro.workloads.specs import Workload
 
 
@@ -193,24 +194,29 @@ def run_sharded_load_test(
     scale: float = 0.1,
     seed: int = 21,
     auto_warmup_traces: int = 30,
+    deployment: Deployment | None = None,
 ) -> ShardedLoadTestResult:
     """Drive one load test against Mint fanned over ``num_shards``.
 
     The replica name carries the shard count (``Mint x4``) so sweeps
-    at 1/2/4/8 shards report side by side.
+    at 1/2/4/8 shards report side by side.  ``deployment`` overrides
+    the default ``Deployment.sharded(num_shards)`` descriptor (it must
+    still describe a sharded topology with ``num_shards`` shards).
     """
+    if deployment is None:
+        deployment = Deployment.sharded(num_shards)
     result, framework = _run_load_test_instrumented(
         spec,
         workload,
-        lambda: ShardedMintFramework(
-            num_shards=num_shards, auto_warmup_traces=auto_warmup_traces
+        lambda: MintFramework(
+            deployment=deployment, auto_warmup_traces=auto_warmup_traces
         ),
         f"Mint x{num_shards}",
         duration_minutes,
         scale,
         seed,
     )
-    assert isinstance(framework, ShardedMintFramework)
+    assert isinstance(framework, MintFramework) and framework.deployment.is_sharded
     rows = framework.shard_meter_rows()
     return ShardedLoadTestResult(
         overall=result,

@@ -1,0 +1,109 @@
+"""Deployment descriptors: the topology half of the deployment plane.
+
+A :class:`Deployment` is a small immutable value describing *how* a
+Mint deployment is laid out — one backend, or N hash-partitioned
+shards — and knowing how to build the matching backend plane.  Every
+layer that used to fork on framework classes (experiment harness, load
+tests, benchmarks, examples) parameterizes over these descriptors
+instead; the framework itself takes one and wires agents, collectors,
+backend and transport from it.
+
+The binding correctness contract is topology invariance: for the same
+ingest stream, any deployment's query results and byte tables are
+identical to the single backend's.  Descriptors only choose *where*
+reports are routed and *which* ledgers are charged — never what is
+parsed, sampled, or answered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.transport.wire import NotifyMeter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.config import MintConfig
+    from repro.transport.plane import BackendPlane
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Topology of a Mint deployment.
+
+    ``num_shards == 0`` means the single (unsharded) backend;
+    ``num_shards >= 1`` means a :class:`ShardedBackend` with that many
+    shards.  ``Deployment.sharded(1)`` is deliberately distinct from
+    ``Deployment.single()``: the former runs the full routing/merge
+    machinery at N=1 (the pinned degenerate-equivalence case), the
+    latter the reference backend.
+    """
+
+    num_shards: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 0:
+            raise ValueError("num_shards must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls) -> "Deployment":
+        """The reference topology: one backend, one storage engine."""
+        return cls(num_shards=0)
+
+    @classmethod
+    def sharded(cls, num_shards: int) -> "Deployment":
+        """N hash-partitioned shards behind the merged view."""
+        if num_shards <= 0:
+            raise ValueError("a sharded deployment needs at least one shard")
+        return cls(num_shards=num_shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_sharded(self) -> bool:
+        """True when reports are routed across shard engines."""
+        return self.num_shards > 0
+
+    @property
+    def ledger_count(self) -> int:
+        """How many per-shard ledgers the transport should charge."""
+        return self.num_shards
+
+    def describe(self) -> str:
+        """Human-readable topology label."""
+        if not self.is_sharded:
+            return "single-backend"
+        return f"{self.num_shards}-shard"
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def build_backend(
+        self, config: "MintConfig", notify_meter: NotifyMeter | None = None
+    ) -> "BackendPlane":
+        """Construct the backend plane this topology describes.
+
+        Backends are imported lazily: they subclass
+        :class:`~repro.transport.plane.BackendPlane`, so importing them
+        at module top would make the transport package and the backend
+        package each other's import-time prerequisite.
+        """
+        from repro.backend.backend import MintBackend
+        from repro.backend.sharded import ShardedBackend
+
+        if not self.is_sharded:
+            return MintBackend(
+                bloom_buffer_bytes=config.bloom_buffer_bytes,
+                bloom_fpp=config.bloom_fpp,
+                notify_meter=notify_meter,
+            )
+        return ShardedBackend(
+            num_shards=self.num_shards,
+            bloom_buffer_bytes=config.bloom_buffer_bytes,
+            bloom_fpp=config.bloom_fpp,
+            notify_meter=notify_meter,
+        )

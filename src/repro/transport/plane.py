@@ -1,0 +1,157 @@
+"""The shared backend contract of the deployment plane.
+
+:class:`BackendPlane` hoists everything the single and sharded backends
+used to duplicate — the collector registry, report-type dispatch, the
+idempotent fleet-wide sampling notification, and the query path with
+its retroactive parameter pull — into one base class.  A concrete
+backend supplies only its topology: which storage engine owns a node's
+reports (:meth:`BackendPlane._engine_for`), an optional post-store hook
+(:meth:`BackendPlane._observe_stored`, where the sharded merge layer
+folds reports into its global state), and ``storage`` / ``querier``
+attributes shaped like the reference single-backend pair.
+
+The single backend is the degenerate routing case: every node maps to
+the one engine.  That is what keeps the pinned contract
+``ShardedBackend(num_shards=1) == MintBackend`` structural rather than
+coincidental — both run the exact same code here, differing only in
+`_engine_for`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.agent.reports import (
+    BloomReport,
+    ParamsReport,
+    PatternLibraryReport,
+    Report,
+)
+from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.agent.collector import MintCollector
+    from repro.backend.querier import Querier, QueryResult
+    from repro.backend.storage import StorageEngine
+
+
+class BackendPlane(abc.ABC):
+    """Common backend behaviour over any topology.
+
+    Subclasses must set two attributes before use:
+
+    * ``storage`` — a StorageEngine-shaped object (the engine itself,
+      or a merged view over several) backing queries and byte tables;
+    * ``querier`` — a :class:`~repro.backend.querier.Querier` over it.
+
+    ``notify_meter`` is public and rebindable: attaching a
+    :class:`~repro.transport.transport.Transport` points it at the
+    transport's notify path so control messages are metered at the
+    wire, in one place, for every topology.
+    """
+
+    querier: "Querier"
+
+    def __init__(self, notify_meter: NotifyMeter | None = None) -> None:
+        self.notify_meter = notify_meter
+        self._collectors: list["MintCollector"] = []
+        self._notified_trace_ids: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Topology (the only part subclasses provide)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _engine_for(self, node: str) -> "StorageEngine":
+        """The storage engine owning ``node``'s reports."""
+
+    def shard_for(self, node: str) -> int:
+        """Index of the shard owning ``node`` (0 in a single backend)."""
+        return 0
+
+    def _observe_stored(self, report: Report, engine: "StorageEngine") -> None:
+        """Post-store hook: fold a routed, stored report into any
+        cross-engine state (the sharded merge layer overrides)."""
+
+    # ------------------------------------------------------------------
+    # Collector plane
+    # ------------------------------------------------------------------
+    def register_collector(self, collector: "MintCollector") -> None:
+        """Attach a collector for cross-agent parameter pulls.
+
+        Registration order is preserved globally so notification
+        fan-out visits collectors identically in every topology.
+        """
+        self._collectors.append(collector)
+
+    def receive(self, report: Report) -> None:
+        """Ingest one report from a collector.
+
+        Routes to the engine owning the report's origin node and
+        dispatches on the report type; anything other than a pattern,
+        Bloom or params report raises ``TypeError`` — a malformed
+        producer must fail loudly, not silently drop data.
+        """
+        if not isinstance(report, (PatternLibraryReport, BloomReport, ParamsReport)):
+            raise TypeError(f"unknown report type: {type(report)!r}")
+        engine = self._engine_for(report.node)
+        if isinstance(report, PatternLibraryReport):
+            engine.store_pattern_report(report)
+        elif isinstance(report, BloomReport):
+            engine.store_bloom_report(report)
+        else:
+            engine.store_params_report(report)
+        self._observe_stored(report, engine)
+
+    def notify_sampled(self, trace_id: str, origin_node: str | None = None) -> None:
+        """Propagate a sampling decision to every other collector.
+
+        Idempotent per trace id across the whole deployment: the first
+        notification, no matter which host sampled, reaches every other
+        registered collector exactly once, each ping charged on the
+        notify meter.  This is the paper's "backend notifies all hosts"
+        guarantee, and it survives the backend becoming N boxes because
+        the dedup set and the registry both live here, above the
+        topology.
+        """
+        if trace_id in self._notified_trace_ids:
+            return
+        self._notified_trace_ids.add(trace_id)
+        self.storage.sampled_trace_ids.add(trace_id)
+        for collector in self._collectors:
+            if origin_node is not None and collector.node == origin_node:
+                continue
+            if self.notify_meter is not None:
+                self.notify_meter(collector.node, NOTIFY_MESSAGE_BYTES)
+            collector.mark_sampled(trace_id)
+
+    # ------------------------------------------------------------------
+    # Query plane
+    # ------------------------------------------------------------------
+    def query(self, trace_id: str, pull_params: bool = False) -> "QueryResult":
+        """Answer a user trace query (exact / partial / miss).
+
+        With ``pull_params`` (the 'Query Trace ID' arrow into sampling
+        in paper Fig. 9), a partial result triggers a retroactive
+        parameter pull: every collector is asked to upload the trace's
+        parameters if still buffered, upgrading the answer to exact
+        when the buffers cooperate.
+        """
+        result = self.querier.query(trace_id)
+        if not pull_params or result.status != "partial":
+            return result
+        pulled = False
+        for collector in self._collectors:
+            if collector.request_params(trace_id):
+                pulled = True
+        if pulled:
+            self.storage.sampled_trace_ids.add(trace_id)
+            return self.querier.query(trace_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Total persisted bytes (merged/deduplicated when sharded)."""
+        return self.storage.storage_bytes()

@@ -1,0 +1,129 @@
+"""Transports: the metered wire between collectors and a backend plane.
+
+A :class:`Transport` owns both directions of the deployment's network
+and every byte charged on it:
+
+* ``deliver`` — collector -> backend: ships one report, charging its
+  wire size before the backend stores it;
+* ``notify`` — backend -> collector: charges one control ping (the
+  backend plane calls this through its ``notify_meter``).
+
+Byte accounting used to be smeared across framework subclasses
+(deployment ledger in one method, per-shard ledgers in an override);
+here it happens in exactly one place, for every topology.  This is
+also the seam where a future async or remote transport plugs in: as
+long as it meters at the wire and preserves per-collector delivery
+order, nothing above or below it changes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.sim.meters import OverheadLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.reports import Report
+    from repro.transport.plane import BackendPlane
+
+# Simulated-time source for meter timestamps (the framework's clock).
+Clock = Callable[[], float]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the collector and backend planes require of a wire."""
+
+    def deliver(self, report: "Report") -> None:
+        """Ship one report to the backend, metering its wire size."""
+
+    def notify(self, node: str, nbytes: int) -> None:
+        """Meter one backend->collector control message."""
+
+
+class LocalTransport:
+    """In-process transport charging a deployment's ledgers at the wire.
+
+    Every delivered report and every notify ping is recorded on the
+    deployment-wide ledger; when ``shard_ledgers`` are attached (a
+    sharded deployment), the same bytes are also charged to the ledger
+    of the owning shard — reports to the shard owning the origin host,
+    notifications to the shard owning the notified host (that shard's
+    frontend sends the ping).  The double bookkeeping that makes
+    per-shard MB/min panels comparable to the deployment totals thus
+    lives in one method pair instead of parallel subclass overrides.
+
+    Constructing a transport claims the backend's ``notify_meter`` —
+    control-message metering is wire accounting, so it belongs here —
+    unless the backend was built with an explicit meter, which is never
+    silently overwritten.
+    """
+
+    def __init__(
+        self,
+        backend: "BackendPlane",
+        ledger: OverheadLedger,
+        clock: Clock | None = None,
+        shard_ledgers: list[OverheadLedger] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.ledger = ledger
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self.shard_ledgers = list(shard_ledgers or [])
+        self._last_storage = 0
+        self._last_shard_storage = [0] * len(self.shard_ledgers)
+        if backend.notify_meter is None:
+            backend.notify_meter = self.notify
+
+    # ------------------------------------------------------------------
+    # The wire
+    # ------------------------------------------------------------------
+    def deliver(self, report: "Report") -> None:
+        """Collector -> backend: meter the report's size, then store."""
+        now = self._clock()
+        size = report.size_bytes()
+        self.ledger.network.record(size, now)
+        if self.shard_ledgers:
+            shard = self.backend.shard_for(report.node)
+            self.shard_ledgers[shard].network.record(size, now)
+        self.backend.receive(report)
+
+    def notify(self, node: str, nbytes: int) -> None:
+        """Backend -> collector: meter one control ping toward ``node``."""
+        now = self._clock()
+        self.ledger.network.record(nbytes, now)
+        if self.shard_ledgers:
+            self.shard_ledgers[self.backend.shard_for(node)].network.record(
+                nbytes, now
+            )
+
+    def __call__(self, report: "Report") -> None:
+        """Bare-callable compatibility: a transport can stand wherever
+        a ``ReportSender`` (plain report callable) is expected.
+        Dispatches through ``self.deliver`` so subclasses overriding
+        the delivery path are honoured."""
+        self.deliver(report)
+
+    # ------------------------------------------------------------------
+    # Storage metering
+    # ------------------------------------------------------------------
+    def sync_storage(self) -> None:
+        """Charge storage-meter deltas since the last sync.
+
+        Storage is metered as monotonic growth of what the backend
+        persists — deployment-wide against the merged (deduplicated)
+        figure, and per shard against each shard's physical bytes.
+        """
+        now = self._clock()
+        current = self.backend.storage_bytes()
+        if current > self._last_storage:
+            self.ledger.storage.record(current - self._last_storage, now)
+            self._last_storage = current
+        if self.shard_ledgers:
+            for i, shard in enumerate(self.backend.shards):
+                physical = shard.storage_bytes()
+                if physical > self._last_shard_storage[i]:
+                    self.shard_ledgers[i].storage.record(
+                        physical - self._last_shard_storage[i], now
+                    )
+                    self._last_shard_storage[i] = physical

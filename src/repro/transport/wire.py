@@ -1,0 +1,29 @@
+"""Wire-level constants and callback types of the deployment plane.
+
+Everything here is deliberately import-light: these names are shared by
+the backends (which meter control messages), the transports (which
+meter reports) and the simulation layers (which install the meters), so
+this module must never import any of them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.reports import Report
+
+# The size of a backend->collector control ping: trace id + header, the
+# paper's "check and report" notification.  Public — every layer that
+# accounts for the notify direction must use this one constant.
+NOTIFY_MESSAGE_BYTES = 64
+
+# Called with (collector_node, payload_bytes) whenever the backend
+# sends a control message toward a collector, so deployments can charge
+# the backend->agent direction of the network.
+NotifyMeter = Callable[[str, int], None]
+
+# The collector->backend direction: anything that accepts a report.
+# Bare callables (``backend.receive``, ``reports.append``) satisfy it,
+# as does :class:`repro.transport.transport.Transport` via ``deliver``.
+ReportSender = Callable[["Report"], None]

@@ -51,6 +51,66 @@ class TestStitching:
         assert len(ordered) == 2
 
 
+class TestStitchingEdgeCases:
+    def test_empty_input(self):
+        assert _stitch_segments([]) == []
+
+    def test_diamond_fan_out_parents_first(self):
+        # root feeds two middles which both feed the sink; every parent
+        # must precede its children, with deterministic order among
+        # ready siblings (index order).
+        root = seg("root", [("gw", "GET /")], [("l", "op-l"), ("r", "op-r")])
+        left = seg("left", [("l", "op-l")], [("sink", "op-s")])
+        right = seg("right", [("r", "op-r")], [("sink", "op-s")])
+        sink = seg("sink", [("sink", "op-s")], [])
+        ordered = _stitch_segments([sink, right, left, root])
+        ids = [s.topo_pattern_id for s in ordered]
+        assert ids.index("root") < ids.index("left")
+        assert ids.index("root") < ids.index("right")
+        assert ids.index("left") < ids.index("sink")
+        assert ids.index("right") < ids.index("sink")
+
+    def test_duplicate_exit_ops_add_one_edge(self):
+        # The same (service, op) appearing twice among A's exits must
+        # not double-count B's indegree (which would strand B).
+        a = seg("a", [("a", "op")], [("b", "op-b"), ("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [])
+        ordered = _stitch_segments([b, a])
+        assert [s.topo_pattern_id for s in ordered] == ["a", "b"]
+
+    def test_self_loop_ignored(self):
+        # A segment whose exit names its own entry gains no self-edge.
+        loop = seg("loop", [("svc", "op")], [("svc", "op")])
+        tail = seg("tail", [("t", "op-t")], [])
+        ordered = _stitch_segments([loop, tail])
+        assert {s.topo_pattern_id for s in ordered} == {"loop", "tail"}
+
+    def test_shared_entry_op_fans_to_all_matches(self):
+        # One exit op matched by two downstream segments orders both
+        # after the upstream.
+        up = seg("up", [("gw", "GET /")], [("w", "work")])
+        d1 = seg("d1", [("w", "work")], [])
+        d2 = seg("d2", [("w", "work")], [])
+        ordered = _stitch_segments([d2, d1, up])
+        ids = [s.topo_pattern_id for s in ordered]
+        assert ids.index("up") < ids.index("d1")
+        assert ids.index("up") < ids.index("d2")
+
+    def test_all_cyclic_segments_still_emitted_once(self):
+        # Fully cyclic input leaves no zero-indegree start; the
+        # leftover sweep must emit every segment exactly once.
+        a = seg("a", [("a", "op-a")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [("c", "op-c")])
+        c = seg("c", [("c", "op-c")], [("a", "op-a")])
+        ordered = _stitch_segments([a, b, c])
+        assert sorted(s.topo_pattern_id for s in ordered) == ["a", "b", "c"]
+
+    def test_independent_segments_keep_relative_order(self):
+        segments = [seg(f"s{i}", [(f"svc{i}", "op")], []) for i in range(4)]
+        ordered = _stitch_segments(list(segments))
+        assert [s.topo_pattern_id for s in ordered] == ["s0", "s1", "s2", "s3"]
+
+
 class TestFalsePositiveVerification:
     def test_disconnected_extra_dropped(self):
         a = seg("a", [("a", "op")], [("b", "op-b")])
@@ -76,3 +136,41 @@ class TestFalsePositiveVerification:
         c = seg("c", [("c", "op-c")], [])
         kept = _drop_unconnected_false_positives([a, b, c])
         assert len(kept) == 3
+
+    def test_empty_input(self):
+        assert _drop_unconnected_false_positives([]) == []
+
+    def test_two_disconnected_islands_both_kept(self):
+        # Two connected pairs with no link between them: all four are
+        # "connected to something", so nothing is dropped.
+        a1 = seg("a1", [("a", "op")], [("b", "op-b")])
+        a2 = seg("a2", [("b", "op-b")], [])
+        b1 = seg("b1", [("x", "op-x")], [("y", "op-y")])
+        b2 = seg("b2", [("y", "op-y")], [])
+        kept = _drop_unconnected_false_positives([a1, a2, b1, b2])
+        assert len(kept) == 4
+
+    def test_multiple_false_positives_dropped_together(self):
+        a = seg("a", [("a", "op")], [("b", "op-b")])
+        b = seg("b", [("b", "op-b")], [])
+        fp1 = seg("fp1", [("q", "op-q")], [])
+        fp2 = seg("fp2", [("r", "op-r")], [])
+        kept = _drop_unconnected_false_positives([fp1, a, fp2, b])
+        assert {s.topo_pattern_id for s in kept} == {"a", "b"}
+
+    def test_self_loop_alone_does_not_verify(self):
+        # A segment matching only itself (exit == own entry) is not a
+        # connection: with no *pair* connected, everything is kept.
+        loop = seg("loop", [("svc", "op")], [("svc", "op")])
+        other = seg("other", [("o", "op-o")], [])
+        kept = _drop_unconnected_false_positives([loop, other])
+        assert len(kept) == 2
+
+    def test_direction_of_connection_is_irrelevant(self):
+        # Connection is symmetric: an upstream with no entries of its
+        # own still counts as connected through its exit edge.
+        up = seg("up", [], [("down", "op-d")])
+        down = seg("down", [("down", "op-d")], [])
+        fp = seg("fp", [("zz", "op-z")], [])
+        kept = _drop_unconnected_false_positives([up, down, fp])
+        assert {s.topo_pattern_id for s in kept} == {"up", "down"}

@@ -15,7 +15,8 @@ from repro.agent.collector import MintCollector
 from repro.agent.config import MintConfig
 from repro.backend.backend import MintBackend
 from repro.backend.sharded import ShardedBackend, shard_for_key
-from repro.baselines import MintFramework, ShardedMintFramework
+from repro.baselines import MintFramework
+from repro.transport import Deployment
 from repro.model.encoding import encode_trace
 from repro.sim.experiment import generate_stream
 from repro.workloads import build_onlineboutique
@@ -300,7 +301,10 @@ class TestShardInvariance:
     def sharded(self, stream):
         return {
             count: self._drive(
-                ShardedMintFramework(num_shards=count, auto_warmup_traces=40), stream
+                MintFramework(
+                    deployment=Deployment.sharded(count), auto_warmup_traces=40
+                ),
+                stream,
             )
             for count in self.SHARD_COUNTS
         }

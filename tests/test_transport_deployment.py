@@ -1,0 +1,271 @@
+"""The deployment plane: Deployment descriptors, LocalTransport
+metering, the shared BackendPlane contract, and framework wiring.
+
+The binding contract (ISSUE 3): topology is routing + metering only.
+``MintFramework(deployment=...)`` must produce identical query results
+and byte tables for every descriptor, and all byte charging must flow
+through the one transport seam.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.agent import MintAgent
+from repro.agent.collector import MintCollector
+from repro.agent.reports import ParamsReport
+from repro.backend.backend import MintBackend
+from repro.backend.sharded import ShardedBackend
+from repro.baselines import MintFramework
+from repro.sim.meters import OverheadLedger
+from repro.transport import (
+    NOTIFY_MESSAGE_BYTES,
+    BackendPlane,
+    Deployment,
+    LocalTransport,
+    Transport,
+)
+from tests.conftest import make_chain_trace
+
+
+class TestDeploymentDescriptor:
+    def test_single_is_default_and_unsharded(self):
+        assert Deployment() == Deployment.single()
+        assert not Deployment.single().is_sharded
+        assert Deployment.single().ledger_count == 0
+        assert Deployment.single().describe() == "single-backend"
+
+    def test_sharded_descriptor(self):
+        deployment = Deployment.sharded(4)
+        assert deployment.is_sharded
+        assert deployment.num_shards == 4
+        assert deployment.ledger_count == 4
+        assert deployment.describe() == "4-shard"
+
+    def test_sharded_one_is_distinct_from_single(self):
+        # The pinned degenerate case: full routing machinery at N=1.
+        assert Deployment.sharded(1) != Deployment.single()
+        assert Deployment.sharded(1).is_sharded
+
+    def test_rejects_bad_shard_counts(self):
+        with pytest.raises(ValueError):
+            Deployment.sharded(0)
+        with pytest.raises(ValueError):
+            Deployment.sharded(-2)
+        with pytest.raises(ValueError):
+            Deployment(num_shards=-1)
+
+    def test_descriptors_are_immutable_values(self):
+        deployment = Deployment.sharded(2)
+        with pytest.raises(AttributeError):
+            deployment.num_shards = 8
+        assert {Deployment.sharded(2), Deployment.sharded(2)} == {deployment}
+
+    def test_builds_matching_backend_planes(self):
+        from repro.agent.config import MintConfig
+
+        config = MintConfig()
+        single = Deployment.single().build_backend(config)
+        sharded = Deployment.sharded(3).build_backend(config)
+        assert isinstance(single, MintBackend)
+        assert isinstance(sharded, ShardedBackend)
+        assert sharded.num_shards == 3
+        assert isinstance(single, BackendPlane)
+        assert isinstance(sharded, BackendPlane)
+
+
+class TestLocalTransport:
+    def _report(self, node: str = "node-0") -> ParamsReport:
+        return ParamsReport(node=node, trace_id="1" * 32, records=[])
+
+    def test_deliver_meters_then_stores(self):
+        backend = MintBackend()
+        ledger = OverheadLedger()
+        transport = LocalTransport(backend, ledger, clock=lambda: 120.0)
+        report = self._report()
+        transport.deliver(report)
+        assert ledger.network.total_bytes == report.size_bytes()
+        assert ledger.network.per_minute_series() == [(2, report.size_bytes())]
+        assert "1" * 32 in backend.storage.params
+
+    def test_satisfies_transport_protocol_and_call(self):
+        backend = MintBackend()
+        transport = LocalTransport(backend, OverheadLedger())
+        assert isinstance(transport, Transport)
+        # Bare-callable compatibility for ReportSender call sites.
+        transport(self._report())
+        assert "1" * 32 in backend.storage.params
+
+    def test_claims_backend_notify_meter(self):
+        backend = MintBackend()
+        ledger = OverheadLedger()
+        transport = LocalTransport(backend, ledger)
+        assert backend.notify_meter == transport.notify
+        backend.register_collector(
+            MintCollector(MintAgent(node="node-1"), backend.receive)
+        )
+        backend.notify_sampled("2" * 32, origin_node="elsewhere")
+        assert ledger.network.total_bytes == NOTIFY_MESSAGE_BYTES
+
+    def test_does_not_clobber_an_explicit_notify_meter(self):
+        charges: list[tuple[str, int]] = []
+        backend = MintBackend(notify_meter=lambda node, b: charges.append((node, b)))
+        ledger = OverheadLedger()
+        LocalTransport(backend, ledger)
+        backend.register_collector(
+            MintCollector(MintAgent(node="node-1"), backend.receive)
+        )
+        backend.notify_sampled("2" * 32, origin_node="elsewhere")
+        assert charges == [("node-1", NOTIFY_MESSAGE_BYTES)]
+        assert ledger.network.total_bytes == 0
+
+    def test_call_dispatches_through_deliver_overrides(self):
+        delivered: list = []
+
+        class Recording(LocalTransport):
+            def deliver(self, report):
+                delivered.append(report)
+                super().deliver(report)
+
+        transport = Recording(MintBackend(), OverheadLedger())
+        transport(self._report())
+        assert len(delivered) == 1
+
+    def test_sharded_double_bookkeeping(self):
+        backend = ShardedBackend(num_shards=2)
+        ledger = OverheadLedger()
+        shard_ledgers = [OverheadLedger(), OverheadLedger()]
+        transport = LocalTransport(backend, ledger, shard_ledgers=shard_ledgers)
+        report = self._report("node-0")
+        transport.deliver(report)
+        transport.notify("node-2", NOTIFY_MESSAGE_BYTES)
+        owner = backend.shard_for("node-0")
+        notified = backend.shard_for("node-2")
+        assert shard_ledgers[owner].network.total_bytes >= report.size_bytes()
+        assert (
+            shard_ledgers[notified].network.total_bytes
+            >= NOTIFY_MESSAGE_BYTES
+        )
+        # Every byte on a shard ledger is also on the deployment ledger.
+        assert ledger.network.total_bytes == sum(
+            sl.network.total_bytes for sl in shard_ledgers
+        )
+
+    def test_sync_storage_charges_monotonic_deltas(self):
+        backend = MintBackend()
+        ledger = OverheadLedger()
+        transport = LocalTransport(backend, ledger)
+        transport.deliver(
+            ParamsReport(
+                node="n",
+                trace_id="3" * 32,
+                records=[["span-1", None, "n", "pat", 0.0, []]],
+            )
+        )
+        transport.sync_storage()
+        first = ledger.storage.total_bytes
+        assert first == backend.storage_bytes() > 0
+        transport.sync_storage()  # no growth -> no extra charge
+        assert ledger.storage.total_bytes == first
+
+
+class TestBackendPlaneContract:
+    def test_receive_raises_on_unknown_report_type(self):
+        class BogusReport:
+            node = "node-0"
+
+        for backend in (MintBackend(), ShardedBackend(num_shards=2)):
+            with pytest.raises(TypeError, match="unknown report type"):
+                backend.receive(BogusReport())
+            with pytest.raises(TypeError, match="unknown report type"):
+                backend.receive("not a report")
+
+    def test_both_backends_share_the_plane(self):
+        assert issubclass(MintBackend, BackendPlane)
+        assert issubclass(ShardedBackend, BackendPlane)
+        # The subclass fork is gone: neither backend re-implements the
+        # hoisted plane methods.
+        for method in ("receive", "notify_sampled", "query", "storage_bytes"):
+            assert method not in MintBackend.__dict__, method
+            assert method not in ShardedBackend.__dict__, method
+
+    def test_framework_has_no_sharded_subclass_overrides(self):
+        import repro.baselines.mint_framework as mod
+
+        assert not hasattr(mod, "ShardedMintFramework")
+        for method in ("_transport", "_charge_notify", "_sync_storage_meter"):
+            assert not hasattr(MintFramework, method), method
+
+
+class TestCollectorTransportWiring:
+    def test_collector_accepts_transport_objects_and_callables(self):
+        backend = MintBackend()
+        ledger = OverheadLedger()
+        transport = LocalTransport(backend, ledger)
+        via_transport = MintCollector(MintAgent(node="a"), transport)
+        sink: list = []
+        via_callable = MintCollector(MintAgent(node="b"), sink.append)
+        trace = make_chain_trace(depth=2, trace_id="4" * 32, nodes=("a", "b"))
+        for sub in trace.sub_traces():
+            {"a": via_transport, "b": via_callable}[sub.node].process(sub, 0.0)
+        via_transport.flush(100.0)
+        via_callable.flush(100.0)
+        assert ledger.network.total_bytes > 0  # metered path
+        assert sink  # direct path delivered raw reports
+
+
+class TestFrameworkDeployments:
+    def _drive(self, framework, num_traces: int = 40):
+        for i in range(num_traces):
+            framework.process_trace(
+                make_chain_trace(depth=3, trace_id=f"{i:032x}"), float(i)
+            )
+        framework.finalize(float(num_traces))
+        return framework
+
+    def test_default_deployment_is_single(self):
+        framework = MintFramework(auto_warmup_traces=5)
+        assert framework.deployment == Deployment.single()
+        assert framework.name == "Mint"
+        assert framework.shard_ledgers == []
+        assert framework.shard_meter_rows() == []
+        assert framework.shard_summaries() == []
+
+    def test_sharded_deployment_names_and_ledgers(self):
+        framework = MintFramework(
+            deployment=Deployment.sharded(4), auto_warmup_traces=5
+        )
+        assert framework.name == "Mint-Sharded(4)"
+        assert len(framework.shard_ledgers) == 4
+        assert isinstance(framework.backend, ShardedBackend)
+
+    def test_topology_invariance_over_one_stream(self):
+        reference = self._drive(MintFramework(auto_warmup_traces=10))
+        for deployment in (Deployment.sharded(1), Deployment.sharded(3)):
+            other = self._drive(
+                MintFramework(deployment=deployment, auto_warmup_traces=10)
+            )
+            assert other.network_bytes == reference.network_bytes, deployment
+            assert other.storage_bytes == reference.storage_bytes, deployment
+            assert other.stored_trace_ids() == reference.stored_trace_ids()
+            for i in range(40):
+                trace_id = f"{i:032x}"
+                assert (
+                    other.query(trace_id).status
+                    == reference.query(trace_id).status
+                ), (deployment, trace_id)
+
+    def test_all_network_bytes_flow_through_the_transport(self):
+        framework = self._drive(
+            MintFramework(deployment=Deployment.sharded(2), auto_warmup_traces=10)
+        )
+        # The deployment ledger and the per-shard ledgers are charged by
+        # the same transport: their totals must reconcile exactly.
+        rows = framework.shard_meter_rows()
+        assert sum(r.network_bytes for r in rows) == framework.network_bytes
+        physical = sum(s.storage_bytes() for s in framework.backend.shards)
+        assert (
+            physical
+            == framework.storage_bytes
+            + framework.backend.merged.replicated_pattern_bytes()
+        )
