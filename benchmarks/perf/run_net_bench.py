@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Simulated network plane benchmark entry point.
+
+Drives the deterministic workload streams over the network plane and
+writes a machine-readable ``BENCH_net.json`` next to this file — the
+same shape discipline as ``BENCH_ingest.json`` / ``BENCH_sharded.json``
+— enforcing the plane's two correctness gates:
+
+* **(a) lossless equivalence** — the default (instantaneous, lossless)
+  ``NetTransport`` is bit-identical to ``LocalTransport`` on byte
+  tables, per-minute meter series, per-shard ledgers and full query
+  signatures, for the single backend and shard counts 1/2/4;
+* **(b) chaos convergence** — under every seeded drop / duplicate /
+  delay / partition profile with retries enabled, query results and
+  byte tables converge to the lossless answer, the overhead lands only
+  on the retransmit meter, and the chaos demonstrably fired.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_net_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_net_bench.py --check   # both gates
+    PYTHONPATH=src python benchmarks/perf/run_net_bench.py --check --traces 150 \
+        --workloads onlineboutique --topologies 0 2   # CI smoke shape
+
+``--check`` exits non-zero when either gate fails, or when the lossless
+plane's wall-clock overhead over ``LocalTransport`` exceeds
+``--max-overhead`` on any cell (the event scheduler must stay cheap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from net_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_PROFILES,
+    DEFAULT_TOPOLOGIES,
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    WORKLOAD_BUILDERS,
+    build_stream,
+    measure_convergence,
+    measure_equivalence,
+)
+
+BENCH_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_net.json")
+
+
+def run(
+    num_traces: int,
+    warmup_traces: int,
+    workloads: list[str],
+    topologies: tuple[int, ...],
+    profiles: tuple[str, ...],
+    repeats: int,
+    seed: int,
+) -> dict:
+    """Measure every equivalence and convergence cell; assemble the report."""
+    report: dict = {
+        "benchmark": "net",
+        "units": {
+            "net_overhead": "lossless NetTransport elapsed / LocalTransport "
+            "elapsed over the identical stream (1.0 = free plane)",
+            "retransmit_bytes": "redundant wire bytes (retransmissions + chaos "
+            "duplicates), charged on the separate retransmit meter only",
+        },
+        "config": {
+            "traces": num_traces,
+            "warmup_traces": warmup_traces,
+            "topologies": list(topologies),
+            "profiles": list(profiles),
+            "repeats": repeats,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "equivalence": {},
+        "convergence": {},
+        "gates": {},
+    }
+    for name in workloads:
+        stream = build_stream(name, num_traces)
+        equivalence, local_reference = measure_equivalence(
+            name,
+            stream,
+            topologies=topologies,
+            warmup_traces=warmup_traces,
+            repeats=repeats,
+        )
+        report["equivalence"][name] = {
+            cell.topology: cell.as_dict() for cell in equivalence
+        }
+        line = f"{name:16s} equivalence:"
+        for cell in equivalence:
+            verdict = "ok" if cell.identical else "FAIL"
+            line += f"  {cell.topology}={verdict} ({cell.net_overhead:.2f}x)"
+        print(line)
+
+        convergence = measure_convergence(
+            name,
+            stream,
+            profiles=profiles,
+            warmup_traces=warmup_traces,
+            seed=seed,
+            reference=local_reference,
+        )
+        report["convergence"][name] = {
+            cell.profile: cell.as_dict() for cell in convergence
+        }
+        line = f"{name:16s} convergence:"
+        for cell in convergence:
+            verdict = "ok" if cell.converged and cell.chaos_fired else "FAIL"
+            line += f"  {cell.profile}={verdict} (retx {cell.retransmit_bytes}B)"
+        print(line)
+
+    report["gates"]["lossless_equivalence"] = all(
+        cell["identical"]
+        for by_topology in report["equivalence"].values()
+        for cell in by_topology.values()
+    )
+    report["gates"]["chaos_convergence"] = all(
+        cell["converged"] and cell["chaos_fired"]
+        for by_profile in report["convergence"].values()
+        for cell in by_profile.values()
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--warmup-traces", type=int, default=DEFAULT_WARMUP_TRACES)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_BUILDERS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--topologies",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_TOPOLOGIES),
+        help="0 = single backend, N >= 1 = shard count",
+    )
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        default=list(DEFAULT_PROFILES),
+        choices=list(DEFAULT_PROFILES),
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 when lossless equivalence or chaos convergence "
+        "fails, or when net overhead exceeds --max-overhead",
+    )
+    parser.add_argument("--max-overhead", type=float, default=1.75)
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        tuple(args.topologies),
+        tuple(args.profiles),
+        args.repeats,
+        args.seed,
+    )
+
+    failures: list[str] = []
+    if args.check:
+        for name, by_topology in report["equivalence"].items():
+            for topology, cell in by_topology.items():
+                if not cell["identical"]:
+                    failures.append(
+                        f"{name} {topology}: {'; '.join(cell['violations'])}"
+                    )
+                elif cell["net_overhead"] > args.max_overhead:
+                    failures.append(
+                        f"{name} {topology}: net overhead "
+                        f"{cell['net_overhead']:.2f}x > allowed "
+                        f"{args.max_overhead:.2f}x"
+                    )
+        for name, by_profile in report["convergence"].items():
+            for profile, cell in by_profile.items():
+                if not (cell["converged"] and cell["chaos_fired"]):
+                    failures.append(
+                        f"{name} chaos-{profile}: {'; '.join(cell['violations'])}"
+                    )
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

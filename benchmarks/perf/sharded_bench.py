@@ -22,9 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.baselines.mint_framework import MintFramework
-from repro.transport import Deployment
 from repro.model.trace import Trace
 from repro.sim.experiment import generate_stream
+from repro.transport import Deployment
 from repro.workloads import build_dataset, build_onlineboutique, build_trainticket
 from repro.workloads.specs import Workload
 
@@ -105,7 +105,7 @@ def _drive(framework, stream) -> float:
     return time.perf_counter() - started
 
 
-def _query_signature(framework, stream) -> list[tuple[str, str]]:
+def query_signature(framework, stream) -> list[tuple[str, str]]:
     """(trace id, status detail) for every trace — the invariance
     oracle, and the single query sweep the hit counts derive from.
 
@@ -153,13 +153,13 @@ def measure_sharded(
     def reference_factory():
         return MintFramework(auto_warmup_traces=warmup_traces)
 
-    ref_elapsed, ref_framework = _best_of(reference_factory, stream, repeats)
-    ref_signature = _query_signature(ref_framework, stream)
+    ref_elapsed, ref_framework = best_of(reference_factory, stream, repeats)
+    ref_signature = query_signature(ref_framework, stream)
     reference = _measurement(
         workload_name, 0, span_count, ref_elapsed, ref_framework,
         _hits_from_signature(ref_signature), len(stream),
     )
-    ref_tables = _byte_tables(ref_framework)
+    ref_tables = byte_tables(ref_framework)
 
     measurements: dict[int, ShardedMeasurement] = {}
     reports: list[InvarianceReport] = []
@@ -170,8 +170,8 @@ def measure_sharded(
                 auto_warmup_traces=warmup_traces,
             )
 
-        elapsed, framework = _best_of(factory, stream, repeats)
-        signature = _query_signature(framework, stream)
+        elapsed, framework = best_of(factory, stream, repeats)
+        signature = query_signature(framework, stream)
         measurements[count] = _measurement(
             workload_name, count, span_count, elapsed, framework,
             _hits_from_signature(signature), len(stream),
@@ -179,7 +179,7 @@ def measure_sharded(
         violations: list[str] = []
         if signature != ref_signature:
             violations.append("query results diverge from single backend")
-        tables = _byte_tables(framework)
+        tables = byte_tables(framework)
         for key, value in tables.items():
             if value != ref_tables[key]:
                 violations.append(
@@ -196,7 +196,7 @@ def measure_sharded(
     return measurements, reference, reports
 
 
-def _best_of(factory, stream, repeats: int):
+def best_of(factory, stream, repeats: int):
     """Fresh-framework repeats; keep the fastest run's framework."""
     best_elapsed = float("inf")
     best_framework = None
@@ -209,7 +209,7 @@ def _best_of(factory, stream, repeats: int):
     return best_elapsed, best_framework
 
 
-def _byte_tables(framework) -> dict[str, int]:
+def byte_tables(framework) -> dict[str, int]:
     storage = framework.backend.storage
     return {
         "network_bytes": framework.network_bytes,

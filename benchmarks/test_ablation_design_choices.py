@@ -12,6 +12,7 @@ DESIGN.md calls out three tunables worth sweeping:
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.agent.config import MintConfig
 from repro.analysis import render_table
@@ -19,8 +20,6 @@ from repro.baselines import MintFramework
 from repro.parsing.numeric_buckets import NumericBucketer
 from repro.sim.experiment import generate_stream
 from repro.workloads import build_onlineboutique
-
-from conftest import emit, once
 
 
 def bloom_fpp_sweep() -> list[list]:

@@ -9,13 +9,12 @@ MB/min of each and the projected GB/day at a production request rate.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import render_table
 from repro.baselines import OTFull
 from repro.sim.experiment import generate_stream
 from repro.workloads import SUBSERVICE_SPECS, build_subservice
-
-from conftest import emit, once
 
 TRACES_PER_SERVICE = 400
 PRODUCTION_REQ_PER_MIN = 80_000  # projection rate for the GB/day column

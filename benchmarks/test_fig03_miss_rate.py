@@ -10,13 +10,12 @@ query model issues biased-but-partly-unpredictable queries per day.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import miss_rate, render_table
 from repro.baselines.otel import OTHead, OTTail
 from repro.sim.experiment import generate_stream
 from repro.workloads import QueryWorkload, TraceRecord, build_onlineboutique
-
-from conftest import emit, once
 
 DAYS = 8
 TRACES_PER_DAY = 400

@@ -12,14 +12,13 @@ throughputs per benchmark; the series below are the paper's curves.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
-from repro.analysis import render_table
 from repro.agent.samplers import TailSampler
+from repro.analysis import render_table
 from repro.baselines import Hindsight, MintFramework, OTFull, OTHead, OTTail, Sieve
 from repro.sim.experiment import run_experiment
 from repro.workloads import build_onlineboutique, build_trainticket
-
-from conftest import emit, once
 
 THROUGHPUTS_REQ_PER_MIN = (20_000, 60_000, 100_000)
 TRACES_PER_RUN = 700

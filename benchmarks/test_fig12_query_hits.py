@@ -12,14 +12,13 @@ model; the same seven series are reported per day.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
-from repro.analysis import render_table
 from repro.agent.samplers import TailSampler
+from repro.analysis import render_table
 from repro.baselines import Hindsight, MintFramework, OTHead, OTTail, Sieve
 from repro.sim.experiment import generate_stream
 from repro.workloads import QueryWorkload, TraceRecord, build_onlineboutique
-
-from conftest import emit, once
 
 DAYS = 6
 TRACES_PER_DAY = 300

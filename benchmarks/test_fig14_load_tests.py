@@ -14,14 +14,13 @@ resident tracing memory are reported per test.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.agent.samplers import HeadSampler
 from repro.analysis import render_table
 from repro.baselines import MintFramework, OTHead
 from repro.sim.loadtest import FIG14_LOAD_TESTS, run_load_test
 from repro.workloads import build_trainticket
-
-from conftest import emit, once
 
 HEAD_RATE = 0.10
 

@@ -15,14 +15,13 @@ from __future__ import annotations
 import statistics
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import render_table
 from repro.baselines import MintFramework, OTFull
 from repro.sim.experiment import generate_stream
 from repro.sim.loadtest import measure_query_latency
 from repro.workloads import build_onlineboutique
-
-from conftest import emit, once
 
 NUM_TRACES = 500
 

@@ -14,17 +14,12 @@ sampling or compression; total pattern + parameter bytes are reported.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import render_table
 from repro.model.encoding import encoded_size
 from repro.parsing.span_parser import SpanParser
-from repro.workloads import (
-    WorkloadDriver,
-    build_dataset,
-    build_subservice,
-)
-
-from conftest import emit, once
+from repro.workloads import WorkloadDriver, build_dataset, build_subservice
 
 THRESHOLDS = (0.2, 0.4, 0.6, 0.8)
 TRACES = 150

@@ -8,12 +8,11 @@ the three services; the same pair statistics are computed exactly.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import inter_span_commonality, inter_trace_commonality, render_table
 from repro.sim.experiment import generate_stream
 from repro.workloads import build_dataset, build_onlineboutique, build_trainticket
-
-from conftest import emit, once
 
 TRACES_PER_SERVICE = 400
 

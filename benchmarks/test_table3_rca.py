@@ -19,12 +19,13 @@ check Mint against each baseline rather than a fixed Sieve gap.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
-from repro.analysis import render_table, top1_accuracy
 from repro.agent.samplers import TailSampler
+from repro.analysis import render_table, top1_accuracy
 from repro.baselines import Hindsight, MintFramework, OTHead, OTTail, Sieve
 from repro.rca import MicroRank, TraceAnomaly, TraceRCA
-from repro.sim.experiment import rca_views_for_framework
+from repro.sim.experiment import FrameworkRun, rca_views_for_framework
 from repro.workloads import (
     FaultInjector,
     FaultSpec,
@@ -33,9 +34,6 @@ from repro.workloads import (
     build_onlineboutique,
     build_trainticket,
 )
-from repro.sim.experiment import FrameworkRun
-
-from conftest import emit, once
 
 TRACES_PER_CASE = 220
 FAULT_EVERY = 12

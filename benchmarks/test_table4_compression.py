@@ -15,17 +15,11 @@ every dataset.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import render_table
-from repro.compression import (
-    CLPCompressor,
-    LogReducerCompressor,
-    LogZipCompressor,
-    MintCompressor,
-)
+from repro.compression import CLPCompressor, LogReducerCompressor, LogZipCompressor, MintCompressor
 from repro.workloads import DATASET_SPECS, WorkloadDriver, build_dataset
-
-from conftest import emit, once
 
 # Trace counts per dataset, scaled from Fig. 13 (~1/2000 of the paper's
 # corpus sizes, preserving the relative sizes).

@@ -12,12 +12,11 @@ the paper's dozens-at-most band regardless of corpus size.
 from __future__ import annotations
 
 import pytest
+from conftest import emit, once
 
 from repro.analysis import render_table
 from repro.baselines import MintFramework
 from repro.workloads import SUBSERVICE_SPECS, WorkloadDriver, build_subservice
-
-from conftest import emit, once
 
 SCALED_TRACES = 600
 

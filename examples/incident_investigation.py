@@ -6,25 +6,28 @@ sampling rule could have predicted.  Under '1 or 0' sampling those
 queries miss; under Mint every one answers, and the retained data
 drives root cause analysis to the faulty service.
 
+This run deploys Mint through the public Deployment API — over the
+*simulated network plane* with drop chaos injected, because incidents
+rarely leave the network alone either: reports are batched, lost
+copies are retransmitted until acknowledged, and the answers below are
+identical to a lossless run (the convergence contract), with the
+damage visible only on the retransmit meter.
+
 Run:  python examples/incident_investigation.py
 """
 
 from __future__ import annotations
 
+import os
 import random
 
-from repro import MintFramework, OTHead
+from repro import Deployment, MintFramework, OTHead
+from repro.net import CHAOS_PROFILES, CHAOS_WIRE
 from repro.rca import MicroRank, TraceAnomaly, TraceRCA, views_from_traces
 from repro.sim.experiment import FrameworkRun, rca_views_for_framework
-from repro.workloads import (
-    FaultInjector,
-    FaultSpec,
-    FaultType,
-    WorkloadDriver,
-    build_trainticket,
-)
+from repro.workloads import FaultInjector, FaultSpec, FaultType, WorkloadDriver, build_trainticket
 
-NUM_TRACES = 1200
+NUM_TRACES = int(os.environ.get("EXAMPLE_TRACES", "1200"))
 FAULTY_SERVICE = "ts-seat-service"
 
 
@@ -34,7 +37,9 @@ def main() -> None:
     injector = FaultInjector(seed=9)
     rng = random.Random(10)
 
-    mint = MintFramework()
+    # The standard harness wire with 15% drop chaos; retries converge.
+    wire = CHAOS_WIRE.with_chaos(CHAOS_PROFILES["drop"], seed=8)
+    mint = MintFramework(deployment=Deployment.single(network=wire))
     head = OTHead(rate=0.05)
 
     print(f"Simulating an incident: CPU exhaustion on {FAULTY_SERVICE}...")
@@ -42,7 +47,7 @@ def main() -> None:
     last_now = 0.0
     for i, (now, trace) in enumerate(driver.traces(NUM_TRACES)):
         # Mid-run, the fault starts affecting ~1 in 10 touching requests.
-        if i > 400 and FAULTY_SERVICE in trace.services and rng.random() < 0.4:
+        if i > NUM_TRACES // 3 and FAULTY_SERVICE in trace.services and rng.random() < 0.4:
             trace = injector.inject(
                 trace, FaultSpec(FaultType.CPU_EXHAUSTION, FAULTY_SERVICE)
             )
@@ -52,14 +57,22 @@ def main() -> None:
         last_now = now
     mint.finalize(last_now)
 
+    stats = mint.net_stats()
+    totals = stats["totals"] if stats else {}
+    print(f"\nThe wire dropped {totals.get('dropped', 0)} transmissions; "
+          f"{totals.get('retransmits', 0)} retransmissions "
+          f"({mint.retransmit_bytes / 1e3:.1f} KB on the retransmit meter) "
+          "restored delivery.")
+
     # Days later, analysts query specific trace ids from the incident
     # window — ids nobody could have predicted at sampling time.
-    window = [t.trace_id for t in traces[500:700]]
-    queried = rng.sample(window, 30)
-    print("\n--- retroactive queries (30 ids from the incident window) ---")
+    lo, hi = int(NUM_TRACES * 0.42), int(NUM_TRACES * 0.58)
+    window = [t.trace_id for t in traces[lo:hi]]
+    queried = rng.sample(window, min(30, len(window)))
+    print(f"\n--- retroactive queries ({len(queried)} ids from the incident window) ---")
     for name, framework in (("OT-Head(5%)", head), ("Mint", mint)):
         hits = sum(1 for tid in queried if framework.query(tid).is_hit)
-        print(f"{name:<12} answered {hits}/30 queries")
+        print(f"{name:<12} answered {hits}/{len(queried)} queries")
 
     # Root cause analysis over what each framework retained.
     print("\n--- root cause analysis (top-3 suspects) ---")

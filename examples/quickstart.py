@@ -18,7 +18,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import Deployment, MintFramework, OTFull
-from repro.workloads import build_onlineboutique, WorkloadDriver
+from repro.workloads import WorkloadDriver, build_onlineboutique
 
 NUM_TRACES = 1500
 

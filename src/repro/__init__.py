@@ -26,17 +26,19 @@ Package map: :mod:`repro.model` (trace data model),
 (LogZip/LogReducer/CLP and Mint's lossless compressor),
 :mod:`repro.rca` (MicroRank, TraceRCA, TraceAnomaly),
 :mod:`repro.workloads` (OnlineBoutique, TrainTicket, Alibaba datasets),
-:mod:`repro.sim` (meters, experiment and load-test harnesses).
+:mod:`repro.sim` (meters, experiment and load-test harnesses),
+:mod:`repro.transport` (the deployment plane), :mod:`repro.net` (the
+simulated network plane: batching, chaos, reliable delivery).
 """
 
 from repro.agent.config import MintConfig
-from repro.baselines.mint_framework import MintFramework
-from repro.transport import Deployment
-from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.hindsight import Hindsight
+from repro.baselines.mint_framework import MintFramework
+from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.sieve import Sieve
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.model.trace import SubTrace, Trace
+from repro.transport import Deployment
 
 __version__ = "1.0.0"
 

@@ -5,24 +5,13 @@ sub-trace is parsed into patterns (kept cheaply, for all traces) and
 parameters (buffered, uploaded only for sampled traces).
 """
 
+from repro.agent.agent import MintAgent
+from repro.agent.collector import MintCollector
 from repro.agent.config import MintConfig
 from repro.agent.params_buffer import ParamsBuffer
 from repro.agent.pattern_library import MountedTopoLibrary
-from repro.agent.reports import (
-    BloomReport,
-    ParamsReport,
-    PatternLibraryReport,
-    Report,
-)
-from repro.agent.samplers import (
-    EdgeCaseSampler,
-    HeadSampler,
-    Sampler,
-    SymptomSampler,
-    TailSampler,
-)
-from repro.agent.agent import MintAgent
-from repro.agent.collector import MintCollector
+from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport, Report
+from repro.agent.samplers import EdgeCaseSampler, HeadSampler, Sampler, SymptomSampler, TailSampler
 
 __all__ = [
     "MintConfig",

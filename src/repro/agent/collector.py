@@ -40,7 +40,15 @@ class MintCollector:
         self.agent = agent
         self.transport = transport
         deliver = getattr(transport, "deliver", None)
-        self._send: ReportSender = deliver if callable(deliver) else transport
+        if callable(deliver):
+            self._send: ReportSender = deliver
+        elif callable(transport):
+            self._send = transport
+        else:
+            raise TypeError(
+                "transport must be a Transport (with a deliver method) or a "
+                f"bare report callable, got {type(transport).__name__!r}"
+            )
         self.config = config or agent.config
         self._reported_span_pattern_ids: set[str] = set()
         self._reported_topo_pattern_ids: set[str] = set()

@@ -5,11 +5,7 @@ from repro.analysis.commonality import (
     inter_span_commonality,
     inter_trace_commonality,
 )
-from repro.analysis.metrics import (
-    hit_breakdown,
-    miss_rate,
-    top1_accuracy,
-)
+from repro.analysis.metrics import hit_breakdown, miss_rate, top1_accuracy
 from repro.analysis.reporting import render_table
 
 __all__ = [

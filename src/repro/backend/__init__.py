@@ -5,21 +5,7 @@ indexes Bloom filters, stores sampled traces' parameters, and answers
 trace queries with exact or approximate traces (paper Section 4.3).
 """
 
-from repro.backend.storage import StorageEngine, StoredBloom
-from repro.backend.querier import (
-    ApproximateSegment,
-    ApproximateTrace,
-    QueryResult,
-    Querier,
-)
 from repro.backend.backend import MintBackend
-from repro.backend.sharded import (
-    MergedStorageView,
-    ShardedBackend,
-    ShardedQuerier,
-    ShardSummary,
-    shard_for_key,
-)
 from repro.backend.explorer import (
     BatchAnalysis,
     FlameNode,
@@ -27,6 +13,15 @@ from repro.backend.explorer import (
     flame_graph,
     render_flame_graph,
 )
+from repro.backend.querier import ApproximateSegment, ApproximateTrace, Querier, QueryResult
+from repro.backend.sharded import (
+    MergedStorageView,
+    ShardedBackend,
+    ShardedQuerier,
+    ShardSummary,
+    shard_for_key,
+)
+from repro.backend.storage import StorageEngine, StoredBloom
 
 __all__ = [
     "StorageEngine",

@@ -16,11 +16,7 @@ from typing import Any
 
 from repro.backend.storage import StorageEngine
 from repro.model.trace import Trace
-from repro.parsing.span_parser import (
-    ParsedSpan,
-    approximate_span_view,
-    reconstruct_exact_span,
-)
+from repro.parsing.span_parser import ParsedSpan, approximate_span_view, reconstruct_exact_span
 from repro.parsing.trace_parser import TopoNode, TopoPattern
 
 

@@ -39,11 +39,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.agent.reports import (
-    BloomReport,
-    PatternLibraryReport,
-    Report,
-)
+from repro.agent.reports import BloomReport, PatternLibraryReport, Report
 from repro.backend.querier import Querier, QueryResult
 from repro.backend.storage import StorageEngine, StoredBloom
 from repro.bloom.bloom_filter import BloomFilter

@@ -16,11 +16,11 @@ comparison is apples-to-apples:
 """
 
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
-from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.hindsight import Hindsight
-from repro.baselines.rrcf import RobustRandomCutForest, RandomCutTree
-from repro.baselines.sieve import Sieve
 from repro.baselines.mint_framework import MintFramework
+from repro.baselines.otel import OTFull, OTHead, OTTail
+from repro.baselines.rrcf import RandomCutTree, RobustRandomCutForest
+from repro.baselines.sieve import Sieve
 
 __all__ = [
     "TracingFramework",

@@ -2,8 +2,10 @@
 
 Deploys one agent + collector per application node (nodes are
 discovered from incoming spans), a backend plane built from a
-:class:`~repro.transport.deployment.Deployment` descriptor, and a
-:class:`~repro.transport.transport.LocalTransport` that charges the
+:class:`~repro.transport.deployment.Deployment` descriptor, and the
+descriptor's transport — the in-process
+:class:`~repro.transport.transport.LocalTransport`, or the simulated
+network plane when ``deployment.network`` is set — charging the
 network and storage meters at the wire.  Storage is whatever the
 backend's storage engine actually persists — patterns, Bloom filters
 and sampled parameters.
@@ -29,7 +31,7 @@ from repro.baselines.base import FrameworkQueryResult, TracingFramework
 from repro.model.span import Span
 from repro.model.trace import Trace
 from repro.sim.meters import OverheadLedger, ShardLedgerRow
-from repro.transport import Deployment, LocalTransport
+from repro.transport import Deployment
 
 SamplerFactory = Callable[[], Sampler]
 
@@ -69,7 +71,9 @@ class MintFramework(TracingFramework):
         # The transport is the deployment's only metering point: it
         # claims the backend's notify meter and charges report bytes,
         # control pings and storage growth on every attached ledger.
-        self.transport = LocalTransport(
+        # The descriptor picks the wire — in-process LocalTransport, or
+        # the simulated network plane when ``deployment.network`` is set.
+        self.transport = self.deployment.build_transport(
             backend=self.backend,
             ledger=self.ledger,
             clock=lambda: self._now,
@@ -128,12 +132,19 @@ class MintFramework(TracingFramework):
         self.transport.sync_storage()
 
     def finalize(self, now: float = 0.0) -> None:
-        """Flush warm-up queue, pattern reports, Bloom filters, params."""
+        """Flush warm-up queue, pattern reports, Bloom filters, params.
+
+        A networked transport is then drained to quiescence — pending
+        batches flushed, in-flight retries delivered and acked — before
+        the final storage sync, so queries after ``finalize`` always
+        see the converged store.
+        """
         self._now = now
         if not self._warmed_up and self._warmup_queue:
             self._drain_warmup_queue()
         for collector in self._collectors.values():
             collector.flush(now)
+        self.transport.drain()
         self.transport.sync_storage()
 
     # ------------------------------------------------------------------
@@ -171,6 +182,24 @@ class MintFramework(TracingFramework):
         self._collectors[node] = collector
         self.backend.register_collector(collector)
         return collector
+
+    # ------------------------------------------------------------------
+    # Network-plane panels (zero / None for the in-process wire)
+    # ------------------------------------------------------------------
+    @property
+    def retransmit_bytes(self) -> int:
+        """Redundant wire bytes (retransmissions + chaos duplicates).
+
+        Charged on the network plane's separate retransmit meter, never
+        on the network meter — the fig02/fig11 byte tables are loss-
+        invariant by construction.  Always 0 on ``LocalTransport``.
+        """
+        meter = self.transport.retransmit
+        return meter.total_bytes if meter is not None else 0
+
+    def net_stats(self) -> dict | None:
+        """The network plane's delivery metrics, when one is deployed."""
+        return self.transport.stats_summary()
 
     # ------------------------------------------------------------------
     # Per-shard panels (empty for the single deployment)

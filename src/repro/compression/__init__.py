@@ -12,10 +12,10 @@ template dictionaries plus the per-record residuals.
 """
 
 from repro.compression.base import CompressionResult, Compressor
-from repro.compression.corpus import spans_as_lines, corpus_raw_bytes
-from repro.compression.logzip import LogZipCompressor
-from repro.compression.logreducer import LogReducerCompressor
 from repro.compression.clp import CLPCompressor
+from repro.compression.corpus import corpus_raw_bytes, spans_as_lines
+from repro.compression.logreducer import LogReducerCompressor
+from repro.compression.logzip import LogZipCompressor
 from repro.compression.mint_compressor import MintCompressor
 
 __all__ = [

@@ -7,16 +7,10 @@ a *metadata part* (name, kind, timing) and an *attributes part*
 (user-supplied key/value pairs such as SQL statements or thread names).
 """
 
+from repro.model.encoding import decode_span, decode_trace, encode_span, encode_trace, encoded_size
 from repro.model.ids import IdGenerator, new_span_id, new_trace_id
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.model.trace import SubTrace, Trace, group_spans_by_trace
-from repro.model.encoding import (
-    decode_span,
-    decode_trace,
-    encode_span,
-    encode_trace,
-    encoded_size,
-)
 
 __all__ = [
     "IdGenerator",

@@ -1,0 +1,169 @@
+"""Seeded chaos injection: what an unreliable wire does to packets.
+
+A :class:`ChaosProfile` is an immutable description of a failure mode —
+random drops, random duplicates, delay jitter, and timed partition
+windows — and a :class:`ChaosEngine` is that profile bound to a seeded
+RNG, so every decision (drop this batch? duplicate it? how much extra
+delay?) is deterministic per (profile, seed) and reproducible across
+runs.  Chaos only ever acts on the wire between send and arrival; it
+never touches queues, sequence numbers or acks, which is what lets the
+reliable layer converge under any profile.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A timed link outage: sends during [start_s, end_s) are lost.
+
+    ``nodes`` restricts the outage to the named origin nodes; None
+    partitions every link (the full network split).
+    """
+
+    start_s: float
+    end_s: float
+    nodes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("partition window must end after it starts")
+
+    def covers(self, node: str, now: float) -> bool:
+        """True when ``node``'s link is down at ``now``."""
+        if not self.start_s <= now < self.end_s:
+            return False
+        return self.nodes is None or node in self.nodes
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """One failure mode, as immutable configuration.
+
+    ``drop_rate`` must stay below 1.0: at-least-once retransmission
+    converges only if every retry has a positive chance of landing
+    (partitions may be total, but they end).
+    """
+
+    name: str
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_jitter_s: float = 0.0
+    partitions: tuple[PartitionWindow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValueError("drop_rate must be in [0, 1) so retries can converge")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1]")
+        if self.delay_jitter_s < 0.0:
+            raise ValueError("delay_jitter_s must be >= 0")
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the profile perturbs nothing."""
+        return (
+            self.drop_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.delay_jitter_s == 0.0
+            and not self.partitions
+        )
+
+
+class ChaosEngine:
+    """A profile bound to a seeded RNG: the wire's adversary.
+
+    One RNG drives every decision in call order, so two engines built
+    from the same (profile, seed) replay the identical fault sequence.
+    """
+
+    def __init__(self, profile: ChaosProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self._rng = random.Random(f"{seed}:{profile.name}")
+
+    def partitioned(self, node: str, now: float) -> bool:
+        """True when ``node``'s link is inside a partition window."""
+        return any(w.covers(node, now) for w in self.profile.partitions)
+
+    def drops(self, node: str, now: float) -> bool:
+        """Decide whether a transmission on ``node``'s link is lost.
+
+        Partition outages are deterministic (no RNG draw), so partition
+        profiles perturb time, never the fault sequence of other links.
+        """
+        if self.partitioned(node, now):
+            return True
+        return (
+            self.profile.drop_rate > 0.0
+            and self._rng.random() < self.profile.drop_rate
+        )
+
+    def duplicates(self) -> bool:
+        """Decide whether the wire spontaneously copies a transmission."""
+        return (
+            self.profile.duplicate_rate > 0.0
+            and self._rng.random() < self.profile.duplicate_rate
+        )
+
+    def extra_delay(self) -> float:
+        """Extra per-transmission latency drawn from [0, jitter)."""
+        if self.profile.delay_jitter_s <= 0.0:
+            return 0.0
+        return self._rng.random() * self.profile.delay_jitter_s
+
+
+def fit_partitions(
+    profile: ChaosProfile,
+    duration_s: float,
+    start_frac: float = 0.2,
+    end_frac: float = 0.5,
+) -> ChaosProfile:
+    """Rescale a profile's partition windows into a stream's lifetime.
+
+    Partition windows are absolute simulated times; a window placed for
+    a ten-minute run never fires on a five-second CI stream.  Harnesses
+    call this with the stream's duration so every outage actually
+    overlaps the traffic.  Each window is mapped *proportionally* from
+    the profile's own span ``[0, max end]`` into
+    ``[start_frac, end_frac] * duration_s``, so multi-window profiles
+    keep their relative timing and disjoint outages stay disjoint (node
+    restrictions are preserved); profiles without partitions pass
+    through unchanged.
+    """
+    if not profile.partitions or duration_s <= 0:
+        return profile
+    span = max(window.end_s for window in profile.partitions)
+    lo = start_frac * duration_s
+    hi = max(end_frac * duration_s, lo + 1e-6)
+
+    def rescale(t: float) -> float:
+        return lo + (t / span) * (hi - lo)
+
+    return replace(
+        profile,
+        partitions=tuple(
+            PartitionWindow(rescale(window.start_s), rescale(window.end_s), window.nodes)
+            for window in profile.partitions
+        ),
+    )
+
+
+# The no-op profile: the NetTransport default, and the wire under which
+# the lossless-equivalence gate must hold bit-identically.
+LOSSLESS = ChaosProfile("lossless")
+
+# The standard chaos suite for the convergence gate and load scenarios.
+# Partition windows are chosen inside the first simulated minutes so
+# reduced CI workloads still cross them.
+CHAOS_PROFILES: dict[str, ChaosProfile] = {
+    "drop": ChaosProfile("drop", drop_rate=0.15),
+    "duplicate": ChaosProfile("duplicate", duplicate_rate=0.25),
+    "delay": ChaosProfile("delay", delay_jitter_s=0.75),
+    "partition": ChaosProfile(
+        "partition",
+        partitions=(PartitionWindow(start_s=5.0, end_s=20.0),),
+    ),
+}

@@ -1,0 +1,129 @@
+"""A timed event scheduler over :class:`~repro.sim.clock.SimClock`.
+
+The network plane's single source of causality: every future effect —
+a batch arriving after its link latency, an age-triggered queue flush,
+a retransmission timer — is an :class:`Event` on one scheduler, and the
+clock only ever moves by running events in timestamp order.  Ties break
+by scheduling order (a monotonic sequence number), so runs are exactly
+reproducible: same events in, same interleaving out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.sim.clock import SimClock
+
+Callback = Callable[[], None]
+
+
+class Event:
+    """One scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the scheduler skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventScheduler:
+    """Min-heap of events driving a :class:`SimClock` forward.
+
+    Running an event advances the clock to the event's timestamp first,
+    so a callback always observes ``clock.now`` equal to its own due
+    time — effects can never appear to precede their causes.  Cancelled
+    events stay in the heap (cancellation is O(1)) and are dropped when
+    they surface.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: Callback) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past is clamped to now: the wire can be slow,
+        never prescient.
+        """
+        event = Event(max(time, self.clock.now), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, callback: Callback) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        return self.at(self.clock.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def next_time(self) -> float | None:
+        """Due time of the earliest live event, or None when idle."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> int:
+        """Run every event due at or before ``time``; returns the count.
+
+        The clock ends at ``time`` (or where it already was, if later)
+        even when no events fired — callers use this to pump the plane
+        up to an externally supplied now.
+        """
+        ran = 0
+        while self._heap and self._heap[0].time <= time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            ran += 1
+        self.clock.advance_to(time)
+        return ran
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Run to quiescence, advancing the clock as far as needed.
+
+        Callbacks may schedule further events (retransmission timers
+        do); ``max_events`` is the runaway backstop — a plane that does
+        not quiesce within it raises rather than spinning forever.
+        """
+        ran = 0
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if ran >= max_events:
+                raise RuntimeError(
+                    f"event scheduler did not quiesce within {max_events} events"
+                )
+            self.clock.advance_to(event.time)
+            event.callback()
+            ran += 1
+        return ran

@@ -1,0 +1,159 @@
+"""Reliable delivery over a lossy wire: acks, retransmission, ordering.
+
+One :class:`ReliableLink` per collector->backend link implements the
+classic at-least-once recipe: the sender numbers batches sequentially,
+keeps them in flight until acknowledged, and retransmits on a timer
+with exponential backoff; the receiver acknowledges everything it sees,
+delivers strictly in sequence order, and buffers ahead-of-order
+arrivals — so the wire may drop, duplicate and reorder, yet the
+backend observes each link's batches exactly once, in FIFO send order
+(the deployment plane's ordering guarantee).
+
+Acks are modeled as instantaneous and reliable.  That is a
+simplification, not a cheat: a lost ack in a real network only causes a
+spurious retransmission, which the receive-side dedup here (and the
+idempotent :meth:`~repro.transport.plane.BackendPlane.receive` behind
+it) already absorbs — the simulated byte accounting is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.net.events import Event, EventScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.reports import Report
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One numbered bundle of reports on one link."""
+
+    link: str
+    seq: int
+    reports: tuple["Report", ...]
+    size_bytes: int
+    created_at: float
+
+
+# Puts a batch on the (possibly lossy) wire; the bool marks retransmits
+# so the transport can charge them on the separate retransmit meter.
+Transmit = Callable[[Batch, bool], None]
+# Hands an in-order, exactly-once batch up to the backend side.
+Deliver = Callable[[Batch], None]
+
+
+class ReliableLink:
+    """Sender + receiver state of one collector->backend link."""
+
+    def __init__(
+        self,
+        link: str,
+        scheduler: EventScheduler,
+        transmit: Transmit,
+        deliver: Deliver,
+        rto_s: float = 0.5,
+        max_backoff_s: float = 8.0,
+        on_ack: Callable[[], None] | None = None,
+    ) -> None:
+        if rto_s <= 0:
+            raise ValueError("rto_s must be > 0")
+        self.link = link
+        self._scheduler = scheduler
+        self._transmit = transmit
+        self._deliver = deliver
+        self.rto_s = rto_s
+        self.max_backoff_s = max_backoff_s
+        # Fired whenever an in-flight batch is acknowledged — the
+        # transport's send window uses it to resume deferred flushes.
+        self._on_ack = on_ack
+        # Sender side.
+        self._next_seq = 0
+        self._unacked: dict[int, Batch] = {}
+        self._timers: dict[int, Event] = {}
+        self._attempts: dict[int, int] = {}
+        # Receiver side.
+        self._next_expected = 0
+        self._reorder_buffer: dict[int, Batch] = {}
+        # Counters for the delivery-metrics panels.
+        self.retransmits = 0
+        self.duplicate_arrivals = 0
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def send(self, reports: tuple["Report", ...], size_bytes: int) -> Batch:
+        """Number a new batch, put it on the wire, arm its timer."""
+        batch = Batch(
+            link=self.link,
+            seq=self._next_seq,
+            reports=reports,
+            size_bytes=size_bytes,
+            created_at=self._scheduler.clock.now,
+        )
+        self._next_seq += 1
+        self._unacked[batch.seq] = batch
+        self._attempts[batch.seq] = 1
+        self._transmit(batch, False)
+        self._arm_timer(batch)
+        return batch
+
+    def _arm_timer(self, batch: Batch) -> None:
+        # Exponential backoff: rto, 2*rto, 4*rto, ... capped — retries
+        # survive long partitions without flooding the scheduler.
+        attempt = self._attempts[batch.seq]
+        delay = min(self.rto_s * (2 ** (attempt - 1)), self.max_backoff_s)
+        self._timers[batch.seq] = self._scheduler.after(
+            delay, lambda: self._on_timeout(batch.seq)
+        )
+
+    def _on_timeout(self, seq: int) -> None:
+        batch = self._unacked.get(seq)
+        if batch is None:
+            return
+        self._attempts[seq] += 1
+        self.retransmits += 1
+        self._transmit(batch, True)
+        self._arm_timer(batch)
+
+    def _acked(self, seq: int) -> None:
+        was_in_flight = self._unacked.pop(seq, None) is not None
+        self._attempts.pop(seq, None)
+        timer = self._timers.pop(seq, None)
+        if timer is not None:
+            timer.cancel()
+        if was_in_flight and self._on_ack is not None:
+            self._on_ack()
+
+    @property
+    def in_flight(self) -> int:
+        """Batches sent but not yet acknowledged."""
+        return len(self._unacked)
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def on_arrival(self, batch: Batch) -> None:
+        """Process one wire arrival: ack always, deliver in order.
+
+        Duplicates (already delivered, or already buffered) are acked
+        again and dropped; ahead-of-order batches wait in the reorder
+        buffer until the gap fills — FIFO delivery per link, whatever
+        the wire did.
+        """
+        self._acked(batch.seq)
+        if batch.seq < self._next_expected or batch.seq in self._reorder_buffer:
+            self.duplicate_arrivals += 1
+            return
+        self._reorder_buffer[batch.seq] = batch
+        while self._next_expected in self._reorder_buffer:
+            ready = self._reorder_buffer.pop(self._next_expected)
+            self._next_expected += 1
+            self._deliver(ready)
+
+    @property
+    def awaiting_delivery(self) -> int:
+        """Arrived batches parked behind a sequence gap."""
+        return len(self._reorder_buffer)

@@ -9,30 +9,20 @@ Two levels of parsing (paper Section 3):
   sub-traces are encoded as topology patterns over span pattern ids.
 """
 
-from repro.parsing.tokenizer import tokenize, detokenize
-from repro.parsing.lcs import lcs_length, lcs_tokens, token_similarity
-from repro.parsing.clustering import cluster_strings
-from repro.parsing.string_patterns import StringTemplate, extract_template
-from repro.parsing.numeric_buckets import NumericBucketer
-from repro.parsing.prefix_tree import TemplatePrefixTree
 from repro.parsing.attribute_parser import (
     AttributeParser,
     NumericAttributeParser,
     ParsedAttribute,
     StringAttributeParser,
 )
-from repro.parsing.span_parser import (
-    ParsedSpan,
-    SpanParser,
-    SpanPattern,
-    SpanPatternLibrary,
-)
-from repro.parsing.trace_parser import (
-    ParsedSubTrace,
-    TopoPattern,
-    TopoPatternLibrary,
-    TraceParser,
-)
+from repro.parsing.clustering import cluster_strings
+from repro.parsing.lcs import lcs_length, lcs_tokens, token_similarity
+from repro.parsing.numeric_buckets import NumericBucketer
+from repro.parsing.prefix_tree import TemplatePrefixTree
+from repro.parsing.span_parser import ParsedSpan, SpanParser, SpanPattern, SpanPatternLibrary
+from repro.parsing.string_patterns import StringTemplate, extract_template
+from repro.parsing.tokenizer import detokenize, tokenize
+from repro.parsing.trace_parser import ParsedSubTrace, TopoPattern, TopoPatternLibrary, TraceParser
 
 __all__ = [
     "tokenize",

@@ -16,18 +16,13 @@ commonality) plus the variable parameters (the variability).
 from __future__ import annotations
 
 import hashlib
+import json as _json
+import math as _math
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Iterable
 
-import json as _json
-import math as _math
-
-from repro.model.encoding import (
-    JSON_ESCAPE_RE,
-    encoded_size,
-    json_value_size,
-)
+from repro.model.encoding import JSON_ESCAPE_RE, encoded_size, json_value_size
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.parsing.attribute_parser import ParamValue, StringAttributeParser
 from repro.parsing.numeric_buckets import NumericBucketer

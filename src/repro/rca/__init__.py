@@ -9,11 +9,11 @@ exactly why '1 or 0' sampling strategies cripple them and Mint's
 keep-everything-approximately strategy helps (the paper's Table 3).
 """
 
-from repro.rca.views import SpanView, TraceView, views_from_traces, view_from_approximate
-from repro.rca.spectrum import SpectrumCounts, ochiai, anomalous_spans
 from repro.rca.microrank import MicroRank
-from repro.rca.tracerca import TraceRCA
+from repro.rca.spectrum import SpectrumCounts, anomalous_spans, ochiai
 from repro.rca.traceanomaly import TraceAnomaly
+from repro.rca.tracerca import TraceRCA
+from repro.rca.views import SpanView, TraceView, view_from_approximate, views_from_traces
 
 __all__ = [
     "SpanView",

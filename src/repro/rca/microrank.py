@@ -12,12 +12,7 @@ from __future__ import annotations
 
 import networkx as nx
 
-from repro.rca.spectrum import (
-    SpectrumCounts,
-    anomalous_spans,
-    duration_baselines,
-    ochiai,
-)
+from repro.rca.spectrum import SpectrumCounts, anomalous_spans, duration_baselines, ochiai
 from repro.rca.views import TraceView
 
 

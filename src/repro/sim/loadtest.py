@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.baselines.base import TracingFramework
 from repro.baselines.mint_framework import MintFramework
@@ -21,6 +21,10 @@ from repro.model.encoding import encoded_size
 from repro.sim.experiment import generate_stream
 from repro.transport import Deployment
 from repro.workloads.specs import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.chaos import ChaosProfile
+    from repro.net.transport import NetworkDescriptor
 
 
 @dataclass(frozen=True)
@@ -62,6 +66,15 @@ class LoadTestResult:
     cpu_seconds: float
     memory_bytes: int
     request_latency_overhead_ms: float
+
+
+def _load_test_traces(spec: LoadTestSpec, duration_minutes: float, scale: float) -> int:
+    """Trace count for one load test — the single copy of the sizing
+    formula (``scale`` shrinks runs to laptop size while preserving the
+    qps ratios between tests); the chaos harness derives the stream's
+    simulated duration from the same number, so the two can never
+    drift."""
+    return max(20, int(spec.qps * 60 * duration_minutes * scale / 10))
 
 
 def restrict_apis(workload: Workload, api_count: int) -> Workload:
@@ -122,7 +135,7 @@ def _run_load_test_instrumented(
     """Like :func:`run_load_test` but hands back the driven framework,
     so callers can read framework-specific meters (per-shard ledgers)."""
     limited = restrict_apis(workload, spec.api_count)
-    num_traces = max(20, int(spec.qps * 60 * duration_minutes * scale / 10))
+    num_traces = _load_test_traces(spec, duration_minutes, scale)
     stream, _ = generate_stream(
         limited,
         num_traces,
@@ -225,6 +238,109 @@ def run_sharded_load_test(
         shard_storage_bytes=[row.storage_bytes for row in rows],
         replicated_pattern_bytes=framework.backend.merged.replicated_pattern_bytes(),
     )
+
+
+@dataclass
+class NetLoadTestResult:
+    """One load test over the simulated network plane.
+
+    ``overall`` is comparable 1:1 with the in-process replicas'
+    :class:`LoadTestResult` (egress is charged at the wire identically,
+    so lossy runs report the same egress as lossless ones);
+    ``retransmit_bytes`` and ``delivery`` carry the wire's own story —
+    redundant bytes, drop/duplicate/retransmission counts, queue
+    depths, per-link latency percentiles.
+    """
+
+    overall: LoadTestResult
+    profile: str
+    retransmit_bytes: int = 0
+    delivery: dict = field(default_factory=dict)
+
+
+# The chaos load scenarios: each pairs a Fig. 14 load shape with one
+# failure mode, so the sweep exercises loss under high qps, duplication
+# under API variety, jitter at sustained load, and a mid-run partition.
+CHAOS_SCENARIOS: tuple[tuple[str, LoadTestSpec, str], ...] = (
+    ("drop@T5", FIG14_LOAD_TESTS[4], "drop"),
+    ("duplicate@T9", FIG14_LOAD_TESTS[8], "duplicate"),
+    ("delay@T3", FIG14_LOAD_TESTS[2], "delay"),
+    ("partition@T12", FIG14_LOAD_TESTS[11], "partition"),
+)
+
+
+def run_net_load_test(
+    spec: LoadTestSpec,
+    workload: Workload,
+    profile: "ChaosProfile | None" = None,
+    network: "NetworkDescriptor | None" = None,
+    num_shards: int = 0,
+    duration_minutes: float = 1.0,
+    scale: float = 0.1,
+    seed: int = 21,
+    auto_warmup_traces: int = 30,
+) -> NetLoadTestResult:
+    """Drive one load test over the simulated network plane.
+
+    ``profile`` of None runs the lossless default wire; otherwise the
+    profile is injected into ``network`` (a batching wire by default)
+    with its partition windows fitted to the stream's duration.  The
+    replica name carries both the load shape and the wire, so chaos
+    sweeps report side by side with the in-process replicas.
+    """
+    from repro.net.chaos import LOSSLESS, fit_partitions
+    from repro.net.transport import CHAOS_WIRE
+
+    if network is None:
+        network = CHAOS_WIRE
+    chaos = profile if profile is not None else LOSSLESS
+    num_traces = _load_test_traces(spec, duration_minutes, scale)
+    chaos = fit_partitions(chaos, num_traces / spec.qps)
+    descriptor = network.with_chaos(chaos, seed=seed)
+    deployment = Deployment(num_shards=num_shards, network=descriptor)
+    result, framework = _run_load_test_instrumented(
+        spec,
+        workload,
+        lambda: MintFramework(
+            deployment=deployment, auto_warmup_traces=auto_warmup_traces
+        ),
+        f"Mint {descriptor.describe()}",
+        duration_minutes,
+        scale,
+        seed,
+    )
+    assert isinstance(framework, MintFramework)
+    return NetLoadTestResult(
+        overall=result,
+        profile=chaos.name,
+        retransmit_bytes=framework.retransmit_bytes,
+        delivery=framework.net_stats() or {},
+    )
+
+
+def run_chaos_load_tests(
+    workload: Workload,
+    scenarios: tuple[tuple[str, LoadTestSpec, str], ...] = CHAOS_SCENARIOS,
+    duration_minutes: float = 1.0,
+    scale: float = 0.1,
+    seed: int = 21,
+    auto_warmup_traces: int = 30,
+) -> dict[str, NetLoadTestResult]:
+    """Run the standard chaos scenario sweep; keyed by scenario name."""
+    from repro.net.chaos import CHAOS_PROFILES
+
+    results: dict[str, NetLoadTestResult] = {}
+    for name, spec, profile_key in scenarios:
+        results[name] = run_net_load_test(
+            spec,
+            workload,
+            profile=CHAOS_PROFILES[profile_key],
+            duration_minutes=duration_minutes,
+            scale=scale,
+            seed=seed,
+            auto_warmup_traces=auto_warmup_traces,
+        )
+    return results
 
 
 def measure_query_latency(

@@ -77,6 +77,10 @@ class LatencyStats:
             raise ValueError("cannot record a negative latency")
         self._samples.append(seconds)
 
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another instrument's samples into this one."""
+        self._samples.extend(other._samples)
+
     def percentile(self, pct: float) -> float:
         """Exact percentile (nearest-rank) over the recorded samples."""
         if not 0.0 <= pct <= 100.0:

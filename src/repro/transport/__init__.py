@@ -18,10 +18,10 @@ granularity.  Query results and merged byte tables are identical across
 topologies over the same stream; CI's sharded gate enforces it.
 """
 
-from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter, ReportSender
+from repro.transport.deployment import Deployment
 from repro.transport.plane import BackendPlane
 from repro.transport.transport import LocalTransport, Transport
-from repro.transport.deployment import Deployment
+from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter, ReportSender
 
 __all__ = [
     "NOTIFY_MESSAGE_BYTES",

@@ -2,7 +2,8 @@
 
 A :class:`Deployment` is a small immutable value describing *how* a
 Mint deployment is laid out — one backend, or N hash-partitioned
-shards — and knowing how to build the matching backend plane.  Every
+shards, reached over an in-process wire or a simulated network — and
+knowing how to build the matching backend plane and transport.  Every
 layer that used to fork on framework classes (experiment harness, load
 tests, benchmarks, examples) parameterizes over these descriptors
 instead; the framework itself takes one and wires agents, collectors,
@@ -11,8 +12,9 @@ backend and transport from it.
 The binding correctness contract is topology invariance: for the same
 ingest stream, any deployment's query results and byte tables are
 identical to the single backend's.  Descriptors only choose *where*
-reports are routed and *which* ledgers are charged — never what is
-parsed, sampled, or answered.
+reports are routed, *which* ledgers are charged and *what the wire
+does in between* — never what is parsed, sampled, or answered (a lossy
+wire may add retransmit-meter overhead, nothing else).
 """
 
 from __future__ import annotations
@@ -24,7 +26,10 @@ from repro.transport.wire import NotifyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.config import MintConfig
+    from repro.net.transport import NetworkDescriptor
+    from repro.sim.meters import OverheadLedger
     from repro.transport.plane import BackendPlane
+    from repro.transport.transport import Clock, Transport
 
 
 @dataclass(frozen=True)
@@ -37,9 +42,16 @@ class Deployment:
     ``Deployment.single()``: the former runs the full routing/merge
     machinery at N=1 (the pinned degenerate-equivalence case), the
     latter the reference backend.
+
+    ``network`` selects the wire: ``None`` is the in-process
+    :class:`~repro.transport.transport.LocalTransport`; a
+    :class:`~repro.net.transport.NetworkDescriptor` builds the
+    simulated network plane (:class:`~repro.net.transport.NetTransport`)
+    with that descriptor's latency/batching/chaos configuration.
     """
 
     num_shards: int = 0
+    network: "NetworkDescriptor | None" = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 0:
@@ -49,16 +61,18 @@ class Deployment:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def single(cls) -> "Deployment":
+    def single(cls, network: "NetworkDescriptor | None" = None) -> "Deployment":
         """The reference topology: one backend, one storage engine."""
-        return cls(num_shards=0)
+        return cls(num_shards=0, network=network)
 
     @classmethod
-    def sharded(cls, num_shards: int) -> "Deployment":
+    def sharded(
+        cls, num_shards: int, network: "NetworkDescriptor | None" = None
+    ) -> "Deployment":
         """N hash-partitioned shards behind the merged view."""
         if num_shards <= 0:
             raise ValueError("a sharded deployment needs at least one shard")
-        return cls(num_shards=num_shards)
+        return cls(num_shards=num_shards, network=network)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -75,9 +89,10 @@ class Deployment:
 
     def describe(self) -> str:
         """Human-readable topology label."""
-        if not self.is_sharded:
-            return "single-backend"
-        return f"{self.num_shards}-shard"
+        topology = "single-backend" if not self.is_sharded else f"{self.num_shards}-shard"
+        if self.network is None:
+            return topology
+        return f"{topology}+{self.network.describe()}"
 
     # ------------------------------------------------------------------
     # Wiring
@@ -106,4 +121,35 @@ class Deployment:
             bloom_buffer_bytes=config.bloom_buffer_bytes,
             bloom_fpp=config.bloom_fpp,
             notify_meter=notify_meter,
+        )
+
+    def build_transport(
+        self,
+        backend: "BackendPlane",
+        ledger: "OverheadLedger",
+        clock: "Clock | None" = None,
+        shard_ledgers: "list[OverheadLedger] | None" = None,
+    ) -> "Transport":
+        """Construct the wire this deployment charges its bytes on.
+
+        ``network is None`` wires the in-process ``LocalTransport``;
+        otherwise the simulated network plane is built from the
+        descriptor.  Lazy imports for the same cycle reason as
+        :meth:`build_backend` — the net package sits on top of the
+        transport seam, not under it.
+        """
+        from repro.transport.transport import LocalTransport
+
+        if self.network is None:
+            return LocalTransport(
+                backend, ledger, clock=clock, shard_ledgers=shard_ledgers
+            )
+        from repro.net.transport import NetTransport
+
+        return NetTransport(
+            backend,
+            ledger,
+            clock=clock,
+            shard_ledgers=shard_ledgers,
+            network=self.network,
         )

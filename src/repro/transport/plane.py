@@ -20,14 +20,9 @@ coincidental — both run the exact same code here, differing only in
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
-from repro.agent.reports import (
-    BloomReport,
-    ParamsReport,
-    PatternLibraryReport,
-    Report,
-)
+from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport, Report
 from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -48,15 +43,24 @@ class BackendPlane(abc.ABC):
     ``notify_meter`` is public and rebindable: attaching a
     :class:`~repro.transport.transport.Transport` points it at the
     transport's notify path so control messages are metered at the
-    wire, in one place, for every topology.
+    wire, in one place, for every topology.  ``flush_transport`` is the
+    matching upload-direction hook: a transport with in-flight state (a
+    batching/lossy network) claims it so the retroactive pull can force
+    freshly requested uploads all the way into storage before
+    re-querying — the in-process transport leaves it None because its
+    deliveries are already synchronous.
     """
 
     querier: "Querier"
 
     def __init__(self, notify_meter: NotifyMeter | None = None) -> None:
         self.notify_meter = notify_meter
+        self.flush_transport: Callable[[], None] | None = None
         self._collectors: list["MintCollector"] = []
         self._notified_trace_ids: set[str] = set()
+        # Per-channel high-water marks for message-id dedup: O(links)
+        # memory however long the run (see ``receive``).
+        self._delivered_watermarks: dict[object, tuple] = {}
 
     # ------------------------------------------------------------------
     # Topology (the only part subclasses provide)
@@ -84,16 +88,35 @@ class BackendPlane(abc.ABC):
         """
         self._collectors.append(collector)
 
-    def receive(self, report: Report) -> None:
+    def receive(self, report: Report, message_id: tuple | None = None) -> None:
         """Ingest one report from a collector.
 
         Routes to the engine owning the report's origin node and
         dispatches on the report type; anything other than a pattern,
         Bloom or params report raises ``TypeError`` — a malformed
         producer must fail loudly, not silently drop data.
+
+        ``message_id`` makes the ingest idempotent: an at-least-once
+        transport (the simulated network plane retransmits, and its
+        chaos layer duplicates) tags every report with a
+        ``(channel, *ordinal)`` tuple — e.g. ``(link, seq, index)`` —
+        and a re-arrival at or below the channel's high-water mark is
+        acknowledged but not re-stored, so duplicates can never perturb
+        storage or byte tables.  Ids must be strictly increasing per
+        channel, which the ``Transport`` seam's per-collector FIFO
+        ordering guarantee already implies; tracking one watermark per
+        channel instead of every id ever seen keeps the dedup state
+        O(channels) over arbitrarily long runs.  In-process
+        exactly-once callers pass no id and skip the check entirely.
         """
         if not isinstance(report, (PatternLibraryReport, BloomReport, ParamsReport)):
             raise TypeError(f"unknown report type: {type(report)!r}")
+        if message_id is not None:
+            channel, ordinal = message_id[0], tuple(message_id[1:])
+            last = self._delivered_watermarks.get(channel)
+            if last is not None and ordinal <= last:
+                return
+            self._delivered_watermarks[channel] = ordinal
         engine = self._engine_for(report.node)
         if isinstance(report, PatternLibraryReport):
             engine.store_pattern_report(report)
@@ -145,6 +168,11 @@ class BackendPlane(abc.ABC):
             if collector.request_params(trace_id):
                 pulled = True
         if pulled:
+            # A networked transport may only have *queued* the pulled
+            # uploads; flush them into storage before re-querying, or
+            # the upgrade-to-exact contract silently breaks.
+            if self.flush_transport is not None:
+                self.flush_transport()
             self.storage.sampled_trace_ids.add(trace_id)
             return self.querier.query(trace_id)
         return result

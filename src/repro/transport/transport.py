@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
-from repro.sim.meters import OverheadLedger
+from repro.sim.meters import Meter, OverheadLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.reports import Report
@@ -32,13 +32,32 @@ Clock = Callable[[], float]
 
 @runtime_checkable
 class Transport(Protocol):
-    """What the collector and backend planes require of a wire."""
+    """What the collector and backend planes require of a wire.
+
+    Beyond the two directions of traffic, the framework drives a
+    wire's *lifecycle*: ``drain`` before final accounting (and on the
+    retroactive pull), ``retransmit`` / ``stats_summary`` for the
+    redundant-byte and delivery panels.  A synchronous in-process wire
+    implements these as no-ops (nothing in flight, no redundancy) —
+    they are part of the contract precisely so a transport with real
+    in-flight state cannot be silently skipped by the framework.
+    """
+
+    # Redundant wire bytes (retransmissions, duplicates); None when the
+    # wire cannot produce any.
+    retransmit: Meter | None
 
     def deliver(self, report: "Report") -> None:
         """Ship one report to the backend, metering its wire size."""
 
     def notify(self, node: str, nbytes: int) -> None:
         """Meter one backend->collector control message."""
+
+    def drain(self) -> None:
+        """Force all queued/in-flight traffic through to the backend."""
+
+    def stats_summary(self) -> dict[str, object] | None:
+        """Delivery metrics, or None when the wire keeps none."""
 
 
 class LocalTransport:
@@ -72,6 +91,8 @@ class LocalTransport:
         self.shard_ledgers = list(shard_ledgers or [])
         self._last_storage = 0
         self._last_shard_storage = [0] * len(self.shard_ledgers)
+        # An in-process wire never sends a byte twice.
+        self.retransmit: Meter | None = None
         if backend.notify_meter is None:
             backend.notify_meter = self.notify
 
@@ -80,13 +101,17 @@ class LocalTransport:
     # ------------------------------------------------------------------
     def deliver(self, report: "Report") -> None:
         """Collector -> backend: meter the report's size, then store."""
-        now = self._clock()
-        size = report.size_bytes()
+        self._charge_report(report.node, report.size_bytes(), self._clock())
+        self.backend.receive(report)
+
+    def _charge_report(self, node: str, size: int, now: float) -> None:
+        """The single charging site for the collector->backend
+        direction: deployment ledger plus the owning shard's ledger.
+        Every transport (local or simulated-network) must charge
+        through here, or the byte tables drift between wires."""
         self.ledger.network.record(size, now)
         if self.shard_ledgers:
-            shard = self.backend.shard_for(report.node)
-            self.shard_ledgers[shard].network.record(size, now)
-        self.backend.receive(report)
+            self.shard_ledgers[self.backend.shard_for(node)].network.record(size, now)
 
     def notify(self, node: str, nbytes: int) -> None:
         """Backend -> collector: meter one control ping toward ``node``."""
@@ -103,6 +128,13 @@ class LocalTransport:
         Dispatches through ``self.deliver`` so subclasses overriding
         the delivery path are honoured."""
         self.deliver(report)
+
+    def drain(self) -> None:
+        """In-process delivery is synchronous; nothing is in flight."""
+
+    def stats_summary(self) -> dict[str, object] | None:
+        """No queues, no links, no delivery metrics to report."""
+        return None
 
     # ------------------------------------------------------------------
     # Storage metering

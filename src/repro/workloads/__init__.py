@@ -7,6 +7,11 @@ the commonality/variability structure the paper measures in real
 production traces.
 """
 
+from repro.workloads.alibaba import DATASET_SPECS, SUBSERVICE_SPECS, build_dataset, build_subservice
+from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
+from repro.workloads.generator import TraceGenerator, WorkloadDriver
+from repro.workloads.onlineboutique import build_onlineboutique
+from repro.workloads.queries import QueryWorkload, TraceRecord
 from repro.workloads.specs import (
     ApiSpec,
     CallSpec,
@@ -14,17 +19,7 @@ from repro.workloads.specs import (
     StringAttributeSpec,
     Workload,
 )
-from repro.workloads.generator import TraceGenerator, WorkloadDriver
-from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
-from repro.workloads.onlineboutique import build_onlineboutique
 from repro.workloads.trainticket import build_trainticket
-from repro.workloads.alibaba import (
-    DATASET_SPECS,
-    SUBSERVICE_SPECS,
-    build_dataset,
-    build_subservice,
-)
-from repro.workloads.queries import QueryWorkload, TraceRecord
 
 __all__ = [
     "ApiSpec",

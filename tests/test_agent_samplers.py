@@ -1,11 +1,6 @@
 """Unit tests for the Symptom, Edge-Case, Head and Tail samplers."""
 
-from repro.agent.samplers import (
-    EdgeCaseSampler,
-    HeadSampler,
-    SymptomSampler,
-    TailSampler,
-)
+from repro.agent.samplers import EdgeCaseSampler, HeadSampler, SymptomSampler, TailSampler
 from repro.model.trace import SubTrace
 from repro.parsing.span_parser import DURATION_KEY, ParsedSpan, SpanParser
 from repro.parsing.trace_parser import ParsedSubTrace, TopoPatternLibrary, TraceParser

@@ -16,9 +16,9 @@ from repro.agent.config import MintConfig
 from repro.backend.backend import MintBackend
 from repro.backend.sharded import ShardedBackend, shard_for_key
 from repro.baselines import MintFramework
-from repro.transport import Deployment
 from repro.model.encoding import encode_trace
 from repro.sim.experiment import generate_stream
+from repro.transport import Deployment
 from repro.workloads import build_onlineboutique
 from tests.conftest import make_chain_trace, make_span
 

@@ -9,11 +9,7 @@ harness that the benchmarks build on.
 import pytest
 
 from repro.baselines import Hindsight, MintFramework, OTFull, OTHead, OTTail, Sieve
-from repro.sim.experiment import (
-    generate_stream,
-    rca_views_for_framework,
-    run_experiment,
-)
+from repro.sim.experiment import generate_stream, rca_views_for_framework, run_experiment
 from repro.workloads import build_onlineboutique, build_trainticket
 
 

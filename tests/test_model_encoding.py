@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.model.encoding import (
-    decode_span,
-    decode_trace,
-    encode_span,
-    encode_trace,
-    encoded_size,
-)
+from repro.model.encoding import decode_span, decode_trace, encode_span, encode_trace, encoded_size
 from repro.model.span import SpanKind, SpanStatus
 from tests.conftest import make_chain_trace, make_span
 

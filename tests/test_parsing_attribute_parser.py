@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.parsing.attribute_parser import (
-    NumericAttributeParser,
-    StringAttributeParser,
-)
+from repro.parsing.attribute_parser import NumericAttributeParser, StringAttributeParser
 
 
 def sql(i: int) -> str:

@@ -21,12 +21,7 @@ from repro.model.encoding import encoded_size, fast_encoded_size
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.model.trace import SubTrace
 from repro.parsing.attribute_parser import StringAttributeParser
-from repro.parsing.span_parser import (
-    ParsedSpan,
-    SpanParser,
-    SpanPattern,
-    SpanPatternLibrary,
-)
+from repro.parsing.span_parser import ParsedSpan, SpanParser, SpanPattern, SpanPatternLibrary
 from repro.sim.experiment import generate_stream
 from repro.workloads import build_onlineboutique
 

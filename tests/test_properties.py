@@ -22,11 +22,7 @@ from repro.model.encoding import decode_span, encode_span
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.parsing.lcs import lcs_length, token_similarity
 from repro.parsing.numeric_buckets import NumericBucketer
-from repro.parsing.string_patterns import (
-    WILDCARD,
-    StringTemplate,
-    template_from_text,
-)
+from repro.parsing.string_patterns import WILDCARD, StringTemplate, template_from_text
 from repro.parsing.tokenizer import detokenize, tokenize
 
 # ----------------------------------------------------------------------

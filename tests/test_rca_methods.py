@@ -2,19 +2,8 @@
 
 import pytest
 
-from repro.rca import (
-    MicroRank,
-    TraceAnomaly,
-    TraceRCA,
-    view_from_approximate,
-    views_from_traces,
-)
-from repro.rca.spectrum import (
-    SpectrumCounts,
-    anomalous_spans,
-    duration_baselines,
-    ochiai,
-)
+from repro.rca import MicroRank, TraceAnomaly, TraceRCA, view_from_approximate, views_from_traces
+from repro.rca.spectrum import SpectrumCounts, anomalous_spans, duration_baselines, ochiai
 from repro.rca.views import SpanView, TraceView, view_from_trace
 from repro.workloads import (
     FaultInjector,

@@ -1,0 +1,139 @@
+"""Edge cases of the simulation instruments: Meter, LatencyStats,
+OverheadLedger and SimClock.
+
+These are the rulers every overhead figure is drawn with, so their
+corner behaviour (sparse minutes, gapped series, backwards time) is
+pinned explicitly rather than assumed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.meters import LatencyStats, Meter, OverheadLedger
+
+
+class TestMeterSeries:
+    def test_per_minute_series_with_sparse_gaps(self):
+        meter = Meter()
+        meter.record(100, now=30.0)     # minute 0
+        meter.record(50, now=59.9)      # minute 0 boundary, still bucket 0
+        meter.record(200, now=60.0)     # minute 1 exactly
+        meter.record(10, now=600.0)     # minute 10, nine empty minutes between
+        assert meter.per_minute_series() == [(0, 150), (1, 200), (10, 10)]
+
+    def test_empty_minutes_are_absent_not_zero(self):
+        meter = Meter()
+        meter.record(7, now=300.0)
+        series = meter.per_minute_series()
+        assert series == [(5, 7)]
+        assert 4 not in dict(series) and 6 not in dict(series)
+
+    def test_mb_per_minute_single_bucket(self):
+        meter = Meter()
+        meter.record(2 * 1024 * 1024, now=45.0)
+        # One active minute: the average is just the total.
+        assert meter.mb_per_minute() == pytest.approx(2.0)
+
+    def test_mb_per_minute_spans_gaps_not_just_active_minutes(self):
+        meter = Meter()
+        meter.record(1024 * 1024, now=0.0)       # minute 0
+        meter.record(1024 * 1024, now=540.0)     # minute 9
+        # The window is minutes 0..9 inclusive — idle minutes dilute the
+        # average; 2 MB over 10 minutes, not over 2.
+        assert meter.mb_per_minute() == pytest.approx(0.2)
+
+    def test_mb_per_minute_empty_meter_is_zero(self):
+        assert Meter().mb_per_minute() == 0.0
+
+    def test_negative_bytes_rejected_and_state_unchanged(self):
+        meter = Meter()
+        meter.record(10, now=0.0)
+        with pytest.raises(ValueError):
+            meter.record(-1, now=0.0)
+        assert meter.total_bytes == 10
+        assert meter.event_count == 1
+
+    def test_reset_clears_everything(self):
+        meter = Meter()
+        meter.record(10, now=90.0)
+        meter.reset()
+        assert meter.total_bytes == 0
+        assert meter.event_count == 0
+        assert meter.per_minute_series() == []
+
+
+class TestLatencyStats:
+    def test_negative_sample_rejected(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.record(-0.001)
+
+    def test_percentiles_on_empty_and_singleton(self):
+        stats = LatencyStats()
+        assert stats.p50 == 0.0 and stats.p99 == 0.0 and stats.mean == 0.0
+        stats.record(0.25)
+        assert stats.p50 == 0.25 and stats.p99 == 0.25 and stats.mean == 0.25
+
+    def test_percentile_bounds_validation(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.percentile(-1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(100.5)
+
+    def test_merge_folds_samples(self):
+        left, right = LatencyStats(), LatencyStats()
+        left.record(0.1)
+        right.record(0.3)
+        right.record(0.5)
+        left.merge(right)
+        assert len(left) == 3
+        assert left.p50 == 0.3
+
+
+class TestSimClock:
+    def test_advance_to_is_a_noop_on_the_same_timestamp(self):
+        clock = SimClock(start=10.0)
+        assert clock.advance_to(10.0) == 10.0
+        assert clock.now == 10.0
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = SimClock(start=10.0)
+        assert clock.advance_to(5.0) == 10.0
+        assert clock.now == 10.0
+
+    def test_advance_rejects_negative_deltas(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        assert clock.now == 0.0
+
+    def test_advance_and_advance_to_compose(self):
+        clock = SimClock()
+        clock.advance(30.0)
+        clock.advance_to(20.0)   # backwards jump ignored
+        clock.advance_to(45.0)
+        assert clock.now == 45.0
+
+
+class TestOverheadLedger:
+    def test_totals_match_the_underlying_meters(self):
+        ledger = OverheadLedger()
+        ledger.network.record(100, now=0.0)
+        ledger.network.record(50, now=61.0)
+        ledger.storage.record(30, now=0.0)
+        snapshot = ledger.as_dict()
+        assert snapshot == {"network_bytes": 150, "storage_bytes": 30}
+        assert snapshot["network_bytes"] == ledger.network.total_bytes
+        assert snapshot["storage_bytes"] == ledger.storage.total_bytes
+        # The dict is a snapshot, not a live view.
+        ledger.network.record(1, now=0.0)
+        assert snapshot["network_bytes"] == 150
+
+    def test_meters_are_independent_instances(self):
+        first, second = OverheadLedger(), OverheadLedger()
+        first.network.record(10, now=0.0)
+        assert second.network.total_bytes == 0
+        assert first.network is not first.storage

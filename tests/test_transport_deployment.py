@@ -213,6 +213,48 @@ class TestCollectorTransportWiring:
         assert ledger.network.total_bytes > 0  # metered path
         assert sink  # direct path delivered raw reports
 
+    def test_collector_prefers_deliver_over_call(self):
+        # An object with both a deliver method and __call__ must route
+        # through deliver — the Transport protocol's metered entry.
+        delivered, called = [], []
+
+        class Both:
+            def deliver(self, report):
+                delivered.append(report)
+
+            def __call__(self, report):
+                called.append(report)
+
+        collector = MintCollector(MintAgent(node="a"), Both())
+        trace = make_chain_trace(depth=2, trace_id="6" * 32, nodes=("a",))
+        for sub in trace.sub_traces():
+            collector.process(sub, 0.0)
+        collector.flush(100.0)
+        assert delivered and not called
+
+    def test_collector_accepts_backend_receive_directly(self):
+        backend = MintBackend()
+        collector = MintCollector(MintAgent(node="a"), backend.receive)
+        trace = make_chain_trace(depth=2, trace_id="7" * 32, nodes=("a",))
+        for sub in trace.sub_traces():
+            collector.process(sub, 0.0)
+        collector.flush(100.0)
+        assert backend.storage.pattern_bytes > 0
+
+    def test_collector_rejects_non_conforming_transports(self):
+        # Neither a deliver method nor callable: fail at construction
+        # with a message naming the offender, not at first upload.
+        for bogus in (object(), 42, "backend"):
+            with pytest.raises(TypeError, match="deliver method"):
+                MintCollector(MintAgent(node="a"), bogus)
+
+    def test_collector_rejects_non_callable_deliver_attribute(self):
+        class BrokenTransport:
+            deliver = "not-callable"
+
+        with pytest.raises(TypeError, match="deliver method"):
+            MintCollector(MintAgent(node="a"), BrokenTransport())
+
 
 class TestFrameworkDeployments:
     def _drive(self, framework, num_traces: int = 40):
