@@ -35,7 +35,7 @@ from sharded_bench import (
     query_signature,
 )
 
-from repro.baselines.mint_framework import MintFramework
+from repro.framework import MintFramework
 from repro.model.trace import Trace
 from repro.net.chaos import CHAOS_PROFILES, ChaosProfile, fit_partitions
 from repro.net.transport import CHAOS_WIRE, NetworkDescriptor

@@ -1,0 +1,280 @@
+"""Query-plane measurement: bit-identity and batch amortisation.
+
+One cell = one (workload, deployment) pair: the deterministic stream is
+ingested once, then a Fig. 12-style query stream (biased-but-
+unpredictable draws from the day's request log) is answered three ways
+and cross-checked:
+
+* **reference** — the pre-redesign path: the backend's live
+  :class:`~repro.backend.querier.Querier` (the merged-view querier on
+  sharded deployments), called id by id;
+* **point** — the new API's point lookups
+  (``QueryEngine.query``), which must be *bit-identical* to the
+  reference: same status, same reconstructed spans, same approximate
+  segments, for every id, on every deployment topology;
+* **batch** — one ``query_many`` cursor over the whole stream, which
+  must yield the identical result sequence while amortising the
+  per-shard filter scans (the throughput gate: batch >= looped point
+  lookups, with the Bloom pre-screen verifiably pruning shard probes
+  on sharded runs).
+
+Byte tables (fig02/fig11) are read after the query sweeps and checked
+identical across deployments — querying must never move a meter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from sharded_bench import WORKLOAD_BUILDERS
+
+from repro.analysis.metrics import hit_breakdown
+from repro.framework import MintFramework
+from repro.model.trace import Trace
+from repro.query.result import QueryResult
+from repro.sim.experiment import generate_stream
+from repro.transport import Deployment
+from repro.workloads.queries import QueryWorkload, TraceRecord, incident_window_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.planner import PlanStats
+
+DEFAULT_TRACES = 400
+DEFAULT_WARMUP_TRACES = 100
+DEFAULT_WORKLOADS = ("onlineboutique", "trainticket")
+REPEATS = 3
+
+
+def default_deployments() -> dict[str, Deployment]:
+    """The gate's topology sweep: single, sharded 1/2/4, lossless net."""
+    from repro.net.transport import NetworkDescriptor
+
+    return {
+        "single": Deployment.single(),
+        "sharded-1": Deployment.sharded(1),
+        "sharded-2": Deployment.sharded(2),
+        "sharded-4": Deployment.sharded(4),
+        "net-lossless": Deployment.single(network=NetworkDescriptor.lossless()),
+    }
+
+
+def build_query_stream(
+    workload_name: str, num_traces: int, seed: int = 17
+) -> tuple[list[tuple[float, Trace]], list[str]]:
+    """One deterministic stream plus its Fig. 12-style query id draw."""
+    workload = WORKLOAD_BUILDERS[workload_name]()
+    stream, targets = generate_stream(
+        workload, num_traces, abnormal_rate=0.02, seed=seed
+    )
+    records = [
+        TraceRecord(
+            trace_id=trace.trace_id,
+            timestamp=now,
+            is_abnormal=trace.trace_id in targets,
+        )
+        for now, trace in stream
+    ]
+    queries = QueryWorkload(abnormal_bias=0.6, seed=seed ^ 0x5A).sample_queries(
+        records, len(records)
+    )
+    return stream, queries
+
+
+def result_signature(result: QueryResult) -> tuple:
+    """Everything the bit-identity gate compares, per answer.
+
+    Statuses, reconstructed spans (dataclass equality — every field,
+    attributes included) and approximate segments (pattern ids,
+    reporting nodes, rendered span views, entry/exit ops).
+    """
+    return (result.trace_id, result.status, result.trace, result.approximate)
+
+
+def byte_tables(framework: MintFramework) -> dict[str, int]:
+    """The fig02/fig11 tables the query plane must never move."""
+    storage = framework.backend.storage
+    return {
+        "network_bytes": framework.network_bytes,
+        "storage_bytes": framework.storage_bytes,
+        "pattern_bytes": storage.pattern_bytes,
+        "bloom_bytes": storage.bloom_bytes,
+        "params_bytes": storage.params_bytes,
+    }
+
+
+@dataclass
+class QueryMeasurement:
+    """One (workload, deployment) cell of BENCH_query.json."""
+
+    workload: str
+    deployment: str
+    queries: int
+    point_elapsed_seconds: float
+    batch_elapsed_seconds: float
+    point_qps: float
+    batch_qps: float
+    batch_speedup: float
+    hits: dict[str, int]
+    plan: dict[str, int]
+    identical: bool
+    violations: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "deployment": self.deployment,
+            "queries": self.queries,
+            "point_elapsed_seconds": round(self.point_elapsed_seconds, 6),
+            "batch_elapsed_seconds": round(self.batch_elapsed_seconds, 6),
+            "point_qps": round(self.point_qps, 1),
+            "batch_qps": round(self.batch_qps, 1),
+            "batch_speedup": round(self.batch_speedup, 3),
+            "hits": dict(self.hits),
+            "plan": dict(self.plan),
+            "identical": self.identical,
+            "violations": list(self.violations),
+        }
+
+
+def _drive(deployment: Deployment, stream, warmup_traces: int) -> MintFramework:
+    framework = MintFramework(
+        deployment=deployment, auto_warmup_traces=warmup_traces
+    )
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return framework
+
+
+def measure_deployment(
+    workload_name: str,
+    deployment_name: str,
+    deployment: Deployment,
+    stream: list[tuple[float, Trace]],
+    queries: list[str],
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+    repeats: int = REPEATS,
+) -> tuple[QueryMeasurement, MintFramework, "PlanStats"]:
+    """Ingest once, then run the three-way query sweep and the timing.
+
+    Returns the cell, the driven framework (for byte tables) and the
+    batch plan's statistics (for the pre-screen pruning gate).
+    """
+    framework = _drive(deployment, stream, warmup_traces)
+    violations: list[str] = []
+
+    # --- bit-identity: new point lookups vs the reference querier ---
+    reference = [framework.backend.querier.query(tid) for tid in queries]
+    point = [framework.query(tid) for tid in queries]
+    for ref, new in zip(reference, point):
+        if result_signature(ref) != result_signature(new):
+            violations.append(
+                f"point lookup diverges from reference querier for "
+                f"trace {ref.trace_id}"
+            )
+            break
+
+    # --- bit-identity: one batch cursor vs the looped lookups ---
+    cursor = framework.query_many(queries)
+    batch = cursor.all()
+    stats = cursor.stats
+    if len(batch) != len(point):
+        violations.append(
+            f"query_many yielded {len(batch)} results for {len(point)} ids"
+        )
+    else:
+        for one, many in zip(point, batch):
+            if result_signature(one) != result_signature(many):
+                violations.append(
+                    f"query_many diverges from point lookups for "
+                    f"trace {one.trace_id}"
+                )
+                break
+
+    # --- throughput: looped point lookups vs one amortised batch ---
+    point_elapsed = min(
+        _timed(lambda: [framework.query(tid) for tid in queries])
+        for _ in range(repeats)
+    )
+    batch_elapsed = min(
+        _timed(lambda: framework.query_many(queries).all())
+        for _ in range(repeats)
+    )
+
+    hits = hit_breakdown(result.status for result in batch)
+
+    count = len(queries)
+    measurement = QueryMeasurement(
+        workload=workload_name,
+        deployment=deployment_name,
+        queries=count,
+        point_elapsed_seconds=point_elapsed,
+        batch_elapsed_seconds=batch_elapsed,
+        point_qps=count / point_elapsed if point_elapsed > 0 else 0.0,
+        batch_qps=count / batch_elapsed if batch_elapsed > 0 else 0.0,
+        batch_speedup=point_elapsed / batch_elapsed if batch_elapsed > 0 else 0.0,
+        hits=hits,
+        plan=stats.as_dict(),
+        identical=not violations,
+        violations=violations,
+    )
+    return measurement, framework, stats
+
+
+def _timed(thunk) -> float:
+    started = time.perf_counter()
+    thunk()
+    return time.perf_counter() - started
+
+
+def predicate_smoke(
+    framework: MintFramework,
+    stream: list[tuple[float, Trace]],
+) -> dict[str, Any]:
+    """Declarative incident queries over the stream's middle window.
+
+    Exercises the predicate path end to end (candidate pushdown, span
+    predicates, streaming) and checks the contract *non-vacuously*:
+    the service query targets the stream's most common service, so it
+    must match something — a regression that rejects every predicate
+    cannot hide behind an empty-but-"all-passing" result list.  The
+    error query's match count is recorded alongside (it may be small
+    on reduced streams).
+    """
+    records = [
+        TraceRecord(trace_id=t.trace_id, timestamp=now, is_abnormal=False)
+        for now, t in stream
+    ]
+    lo = stream[len(stream) // 4][0]
+    hi = stream[(3 * len(stream)) // 4][0]
+    service_counts: dict[str, int] = {}
+    for _, trace in stream:
+        for service in trace.services:
+            service_counts[service] = service_counts.get(service, 0) + 1
+    top_service = max(sorted(service_counts), key=service_counts.get)
+
+    service_spec = incident_window_spec(records, lo, hi, service=top_service)
+    service_hits = framework.execute(service_spec).all()
+    service_candidates = set(service_spec.trace_ids)
+    service_ok = bool(service_hits) and all(
+        r.is_hit and r.trace_id in service_candidates for r in service_hits
+    )
+
+    error_spec = incident_window_spec(records, lo, hi, error_only=True)
+    error_hits = framework.execute(error_spec).all()
+    error_candidates = set(error_spec.trace_ids)
+    error_ok = all(
+        r.is_hit and r.trace_id in error_candidates for r in error_hits
+    )
+    return {
+        "service_spec": service_spec.describe(),
+        "service": top_service,
+        "candidates": len(service_spec.trace_ids),
+        "service_matched": len(service_hits),
+        "error_matched": len(error_hits),
+        "contract_ok": service_ok and error_ok,
+    }

@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Query-plane benchmark entry point (the PR 5 bit-identity gate).
+
+Drives the Fig. 12-style query stream through the unified query plane
+on every deployment topology — single backend, sharded 1/2/4, lossless
+simulated network — and writes ``BENCH_query.json`` next to this file.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_query_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_query_bench.py --check   # gates
+    PYTHONPATH=src python benchmarks/perf/run_query_bench.py --check --traces 150 \
+        --workloads onlineboutique --deployments single sharded-2 \
+        --repeats 2 --min-batch-speedup 0.8   # CI smoke shape
+
+``--check`` exits non-zero when any of the gates fail:
+
+* **bit-identity** — new-API point lookups differ from the reference
+  querier's answers (status, reconstructed spans, approximate
+  segments) on any deployment, or ``query_many`` differs from the
+  looped lookups, or the fig02/fig11 byte tables differ across
+  deployments;
+* **batch throughput** — ``query_many`` is slower than looped
+  point lookups (``--min-batch-speedup``, default 1.0);
+* **pre-screen pushdown** — a sharded run's batch plan pruned zero
+  stored-filter probes (the OR'd Bloom pre-screen must demonstrably
+  fire);
+* **predicate contract** — the declarative incident query yields a
+  non-hit or an out-of-window candidate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from query_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    DEFAULT_WORKLOADS,
+    REPEATS,
+    WORKLOAD_BUILDERS,
+    build_query_stream,
+    byte_tables,
+    default_deployments,
+    measure_deployment,
+    predicate_smoke,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_query.json"
+)
+
+
+def run(
+    num_traces: int,
+    warmup_traces: int,
+    workloads: list[str],
+    deployment_names: list[str],
+    repeats: int,
+) -> dict:
+    """Measure every (workload, deployment) cell and assemble the report."""
+    deployments = default_deployments()
+    report: dict = {
+        "benchmark": "query",
+        "units": {
+            "point_qps": "new-API point lookups per second (looped)",
+            "batch_qps": "queries per second through one query_many cursor",
+            "batch_speedup": "point elapsed / batch elapsed over the same "
+            "ids (>= 1.0 means batching amortises)",
+            "plan": "batch plan counters: stored-filter probes made vs "
+            "pruned by the Bloom pre-screen pushdown",
+        },
+        "config": {
+            "traces": num_traces,
+            "warmup_traces": warmup_traces,
+            "deployments": list(deployment_names),
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+        "byte_tables": {},
+        "predicate": {},
+    }
+    for name in workloads:
+        stream, queries = build_query_stream(name, num_traces)
+        cells: dict = {}
+        tables: dict = {}
+        for depl_name in deployment_names:
+            measurement, framework, _ = measure_deployment(
+                name,
+                depl_name,
+                deployments[depl_name],
+                stream,
+                queries,
+                warmup_traces=warmup_traces,
+                repeats=repeats,
+            )
+            cells[depl_name] = measurement.as_dict()
+            tables[depl_name] = byte_tables(framework)
+            if depl_name == deployment_names[0]:
+                report["predicate"][name] = predicate_smoke(framework, stream)
+            print(
+                f"{name:16s} {depl_name:12s} "
+                f"point: {measurement.point_qps:>8.0f} q/s  "
+                f"batch: {measurement.batch_qps:>8.0f} q/s "
+                f"({measurement.batch_speedup:.2f}x)  "
+                f"pruned: {measurement.plan['filters_pruned']}"
+                + ("" if measurement.identical else "  IDENTITY-VIOLATION")
+            )
+        report["workloads"][name] = cells
+        report["byte_tables"][name] = tables
+    return report
+
+
+def check(report: dict, min_batch_speedup: float) -> list[str]:
+    """Apply the gates to an assembled report."""
+    failures: list[str] = []
+    for workload, cells in report["workloads"].items():
+        reference_tables = None
+        for depl_name, cell in cells.items():
+            label = f"{workload} {depl_name}"
+            if not cell["identical"]:
+                failures.append(f"{label}: {'; '.join(cell['violations'])}")
+            if cell["batch_speedup"] < min_batch_speedup:
+                failures.append(
+                    f"{label}: batch speedup {cell['batch_speedup']:.2f}x < "
+                    f"required {min_batch_speedup:.2f}x"
+                )
+            if depl_name.startswith("sharded") and cell["plan"]["filters_pruned"] <= 0:
+                failures.append(
+                    f"{label}: Bloom pre-screen pruned no shard probes "
+                    "(pushdown did not fire)"
+                )
+            tables = report["byte_tables"][workload][depl_name]
+            if reference_tables is None:
+                reference_tables = tables
+            elif tables != reference_tables:
+                failures.append(
+                    f"{label}: byte tables diverge across deployments "
+                    f"({tables} != {reference_tables})"
+                )
+    for workload, smoke in report["predicate"].items():
+        if not smoke["contract_ok"]:
+            failures.append(f"{workload}: predicate query contract violated")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--warmup-traces", type=int, default=DEFAULT_WARMUP_TRACES)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_WORKLOADS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--deployments",
+        nargs="+",
+        default=list(default_deployments()),
+        choices=list(default_deployments()),
+        help="deployment topologies to sweep",
+    )
+    parser.add_argument("--repeats", type=int, default=REPEATS)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on identity/throughput/pushdown violations",
+    )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=1.0,
+        help="required query_many speedup over looped point lookups",
+    )
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        args.deployments,
+        args.repeats,
+    )
+
+    failures = check(report, args.min_batch_speedup) if args.check else []
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

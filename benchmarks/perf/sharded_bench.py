@@ -3,7 +3,7 @@
 One measurement = one workload's deterministic stream pushed through
 the *full* Mint pipeline (agents, collectors, transports, backend) at a
 given shard count, wall-clocked end to end.  The single-backend
-:class:`~repro.baselines.mint_framework.MintFramework` run over the
+:class:`~repro.framework.MintFramework` run over the
 same stream is the reference: spans/sec ratios give the merge layer's
 overhead (or benefit), and the reference's query outcomes + byte
 tables give the invariance oracle every sharded run is checked
@@ -21,8 +21,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.baselines.mint_framework import MintFramework
+from repro.analysis.metrics import hit_breakdown
+from repro.framework import MintFramework
 from repro.model.trace import Trace
+from repro.query.result import QueryStatus
 from repro.sim.experiment import generate_stream
 from repro.transport import Deployment
 from repro.workloads import build_dataset, build_onlineboutique, build_trainticket
@@ -113,26 +115,22 @@ def query_signature(framework, stream) -> list[tuple[str, str]]:
     the reconstructed span count and partial hits the segment shape.
     """
     signature: list[tuple[str, str]] = []
-    for _, trace in stream:
-        result = framework.query_full(trace.trace_id)
-        detail = result.status
-        if result.status == "exact" and result.trace is not None:
+    for result in framework.query_many(trace.trace_id for _, trace in stream):
+        detail = str(result.status)
+        if result.status is QueryStatus.EXACT and result.trace is not None:
             detail += f":{len(result.trace.spans)}"
-        elif result.status == "partial" and result.approximate is not None:
+        elif result.status is QueryStatus.PARTIAL and result.approximate is not None:
             detail += ":" + ",".join(
                 f"{seg.topo_pattern_id}/{seg.span_count}"
                 for seg in result.approximate.segments
             )
-        signature.append((trace.trace_id, detail))
+        signature.append((result.trace_id, detail))
     return signature
 
 
 def _hits_from_signature(signature: list[tuple[str, str]]) -> dict[str, int]:
     """Fold a query signature into Fig. 12-style hit counts."""
-    hits = {"exact": 0, "partial": 0, "miss": 0}
-    for _, detail in signature:
-        hits[detail.split(":", 1)[0]] += 1
-    return hits
+    return hit_breakdown(detail.split(":", 1)[0] for _, detail in signature)
 
 
 def measure_sharded(

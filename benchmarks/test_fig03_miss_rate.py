@@ -14,6 +14,7 @@ from conftest import emit, once
 
 from repro.analysis import miss_rate, render_table
 from repro.baselines.otel import OTHead, OTTail
+from repro.query import QueryStatus
 from repro.sim.experiment import generate_stream
 from repro.workloads import QueryWorkload, TraceRecord, build_onlineboutique
 
@@ -54,9 +55,9 @@ def run() -> list[list]:
                 abnormal_bias=ABNORMAL_QUERY_BIAS, seed=500 + day
             ).sample_queries(records, QUERIES_PER_DAY)
             statuses = [
-                "exact"
+                QueryStatus.EXACT
                 if head.query(q).is_hit or tail.query(q).is_hit
-                else "miss"
+                else QueryStatus.MISS
                 for q in queries
             ]
             daily_rates.append(miss_rate(statuses))

@@ -10,15 +10,17 @@ This example runs Mint over a *sharded* deployment
 (``Deployment.sharded(2)``) to show that batch analysis is topology
 blind: the merged view answers exactly like a single backend would,
 so the analysis code never knows the collection plane is two boxes.
+The whole window flows through one ``query_many`` cursor — a batched
+shard-fanout plan streaming results one at a time — into the Trace
+Explorer's :class:`BatchAnalysis`.
 
 Run:  python examples/batch_analysis.py
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-
 from repro import Deployment, MintFramework, OTHead
+from repro.backend.explorer import BatchAnalysis
 from repro.workloads import WorkloadDriver, build_onlineboutique
 
 NUM_TRACES = 1200
@@ -41,39 +43,27 @@ def main() -> None:
     mint.finalize(last_now)
 
     # --- population available for batch analysis -----------------------
+    # The whole window through one batched cursor (UC 2's pipeline):
+    # results stream one at a time into the Trace Explorer aggregates.
     head_spans = sum(
         len(t.spans) for t in traces if t.trace_id in head.stored_trace_ids()
     )
-    mint_spans = 0
-    mint_paths: Counter = Counter()
-    service_durations: dict[str, list[str]] = defaultdict(list)
-    for trace in traces:
-        result = mint.query_full(trace.trace_id)
-        if result.status == "exact":
-            mint_spans += len(result.trace.spans)
-            path = " -> ".join(sorted(result.trace.services))
-            mint_paths[path] += 1
-        elif result.status == "partial":
-            approx = result.approximate
-            mint_spans += approx.span_count
-            mint_paths[" -> ".join(sorted(approx.services))] += 1
-            for segment in approx.segments:
-                for view in segment.spans:
-                    if view["duration"]:
-                        service_durations[view["service"]].append(view["duration"])
+    analysis = BatchAnalysis.from_cursor(mint.query_many(t.trace_id for t in traces))
 
     print("--- spans available for batch analysis ---")
     print(f"OT-Head (5%): {head_spans:>8} spans")
-    print(f"Mint:         {mint_spans:>8} spans "
-          f"({mint_spans / max(1, head_spans):.1f}x more)")
+    print(f"Mint:         {analysis.spans_available:>8} spans "
+          f"({analysis.spans_available / max(1, head_spans):.1f}x more; "
+          f"{analysis.exact_traces} exact + {analysis.partial_traces} "
+          "approximate traces)")
 
     print("\n--- top execution paths (topology aggregation, Mint) ---")
-    for path, count in mint_paths.most_common(3):
+    for path, count in analysis.top_paths[:3]:
         print(f"  {count:>5} traces: {path[:100]}")
 
-    print("\n--- per-service duration buckets (from approximate traces) ---")
-    for service in sorted(service_durations)[:6]:
-        buckets = Counter(service_durations[service])
+    print("\n--- per-service duration buckets (exact + approximate spans) ---")
+    for service in sorted(analysis.service_duration_buckets)[:6]:
+        buckets = analysis.service_duration_buckets[service]
         top = ", ".join(f"{b} x{c}" for b, c in buckets.most_common(2))
         print(f"  {service:<26} {top}")
 

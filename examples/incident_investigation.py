@@ -25,7 +25,15 @@ from repro import Deployment, MintFramework, OTHead
 from repro.net import CHAOS_PROFILES, CHAOS_WIRE
 from repro.rca import MicroRank, TraceAnomaly, TraceRCA, views_from_traces
 from repro.sim.experiment import FrameworkRun, rca_views_for_framework
-from repro.workloads import FaultInjector, FaultSpec, FaultType, WorkloadDriver, build_trainticket
+from repro.workloads import (
+    FaultInjector,
+    FaultSpec,
+    FaultType,
+    TraceRecord,
+    WorkloadDriver,
+    build_trainticket,
+    incident_window_spec,
+)
 
 NUM_TRACES = int(os.environ.get("EXAMPLE_TRACES", "1200"))
 FAULTY_SERVICE = "ts-seat-service"
@@ -42,18 +50,21 @@ def main() -> None:
     mint = MintFramework(deployment=Deployment.single(network=wire))
     head = OTHead(rate=0.05)
 
-    print(f"Simulating an incident: CPU exhaustion on {FAULTY_SERVICE}...")
+    print(f"Simulating an incident: exception storm on {FAULTY_SERVICE}...")
     traces = []
+    records = []          # the analysts' request log (ids + timestamps)
     last_now = 0.0
     for i, (now, trace) in enumerate(driver.traces(NUM_TRACES)):
         # Mid-run, the fault starts affecting ~1 in 10 touching requests.
         if i > NUM_TRACES // 3 and FAULTY_SERVICE in trace.services and rng.random() < 0.4:
             trace = injector.inject(
-                trace, FaultSpec(FaultType.CPU_EXHAUSTION, FAULTY_SERVICE)
+                trace, FaultSpec(FaultType.CODE_EXCEPTION, FAULTY_SERVICE)
             )
         mint.process_trace(trace, now)
         head.process_trace(trace, now)
         traces.append(trace)
+        records.append(TraceRecord(trace_id=trace.trace_id, timestamp=now,
+                                   is_abnormal=False))
         last_now = now
     mint.finalize(last_now)
 
@@ -71,8 +82,25 @@ def main() -> None:
     queried = rng.sample(window, min(30, len(window)))
     print(f"\n--- retroactive queries ({len(queried)} ids from the incident window) ---")
     for name, framework in (("OT-Head(5%)", head), ("Mint", mint)):
-        hits = sum(1 for tid in queried if framework.query(tid).is_hit)
+        hits = sum(1 for result in framework.query_many(queried) if result.is_hit)
         print(f"{name:<12} answered {hits}/{len(queried)} queries")
+
+    # The same investigation, declaratively: one predicate query for
+    # "all error traces for the suspect service in the incident window"
+    # — candidates come from the request log, the service and error
+    # predicates are pushed down to the shard plans, and results
+    # stream back one reconstruction at a time.
+    window_start, window_end = records[lo].timestamp, records[hi].timestamp
+    spec = incident_window_spec(
+        records, window_start, window_end,
+        service=FAULTY_SERVICE, error_only=True,
+    )
+    print(f"\n--- predicate query: {spec.describe()} ---")
+    for name, framework in (("OT-Head(5%)", head), ("Mint", mint)):
+        cursor = framework.execute(spec)
+        matched = sum(1 for _ in cursor)
+        print(f"{name:<12} {matched:>4} error traces for {FAULTY_SERVICE} "
+              f"in the window (of {len(spec.trace_ids)} candidate requests)")
 
     # Root cause analysis over what each framework retained.
     print("\n--- root cause analysis (top-3 suspects) ---")

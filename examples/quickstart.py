@@ -51,16 +51,17 @@ def main() -> None:
           f"of the storage.")
 
     print("\n--- queryability: every trace answers ---")
-    outcomes = {"exact": 0, "partial": 0, "miss": 0}
-    for trace in traces:
-        outcomes[mint.query(trace.trace_id).status] += 1
+    # One batched sweep through the query plane: the cursor streams
+    # results (nothing is materialised) and folds the status counts.
+    outcomes = mint.query_many(t.trace_id for t in traces).statuses()
     print(f"exact hits:   {outcomes['exact']}")
     print(f"partial hits: {outcomes['partial']}")
     print(f"misses:       {outcomes['miss']}  <- Mint never loses a trace")
 
-    # Show one exact and one approximate query result.
+    # Show one exact and one approximate query result (query returns
+    # the full payload: reconstructed spans or the approximate trace).
     exact_id = sorted(mint.stored_trace_ids())[0]
-    result = mint.query_full(exact_id)
+    result = mint.query(exact_id)
     print(f"\n--- exact trace {exact_id[:12]}... "
           f"({len(result.trace.spans)} spans, fully reconstructed) ---")
     for span in result.trace.spans[:4]:
@@ -70,7 +71,7 @@ def main() -> None:
     partial_id = next(
         t.trace_id for t in traces if t.trace_id not in mint.stored_trace_ids()
     )
-    result = mint.query_full(partial_id)
+    result = mint.query(partial_id)
     print(f"\n--- approximate trace {partial_id[:12]}... "
           f"(variables masked, numerics bucket-mapped) ---")
     for segment in result.approximate.segments[:2]:

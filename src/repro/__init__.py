@@ -16,13 +16,19 @@ Quick start::
     for now, trace in driver.traces(1000):
         mint.process_trace(trace, now)
     mint.finalize(0.0)
-    result = mint.query_full(trace.trace_id)   # exact or approximate
+    result = mint.query(trace.trace_id)        # exact or approximate
+    for hit in mint.execute(QuerySpec.where(
+            candidates=[t.trace_id for t in traces], error_only=True)):
+        ...                                    # streaming predicate query
 
 Package map: :mod:`repro.model` (trace data model),
 :mod:`repro.parsing` (the two-level commonality/variability parsers),
 :mod:`repro.bloom` (Bloom filters), :mod:`repro.agent` /
-:mod:`repro.backend` (the Mint runtime), :mod:`repro.baselines`
-(OT-Full/Head/Tail, Hindsight, Sieve), :mod:`repro.compression`
+:mod:`repro.backend` (the Mint runtime), :mod:`repro.framework` (the
+deployable Mint framework), :mod:`repro.query` (the unified query
+plane: specs, planner, cursors, the one result model),
+:mod:`repro.baselines` (OT-Full/Head/Tail, Hindsight, Sieve),
+:mod:`repro.compression`
 (LogZip/LogReducer/CLP and Mint's lossless compressor),
 :mod:`repro.rca` (MicroRank, TraceRCA, TraceAnomaly),
 :mod:`repro.workloads` (OnlineBoutique, TrainTicket, Alibaba datasets),
@@ -33,11 +39,12 @@ simulated network plane: batching, chaos, reliable delivery).
 
 from repro.agent.config import MintConfig
 from repro.baselines.hindsight import Hindsight
-from repro.baselines.mint_framework import MintFramework
 from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.sieve import Sieve
+from repro.framework import MintFramework
 from repro.model.span import Span, SpanKind, SpanStatus
 from repro.model.trace import SubTrace, Trace
+from repro.query import QueryCursor, QueryResult, QuerySpec, QueryStatus
 from repro.transport import Deployment
 
 __version__ = "1.0.0"
@@ -51,6 +58,10 @@ __all__ = [
     "OTTail",
     "Hindsight",
     "Sieve",
+    "QueryCursor",
+    "QueryResult",
+    "QuerySpec",
+    "QueryStatus",
     "Span",
     "SpanKind",
     "SpanStatus",

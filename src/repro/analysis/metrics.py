@@ -5,14 +5,18 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable
 
+from repro.query.result import QueryStatus
+
 
 def hit_breakdown(statuses: Iterable[str]) -> dict[str, int]:
-    """Counts of 'exact' / 'partial' / 'miss' query outcomes."""
+    """Counts of 'exact' / 'partial' / 'miss' query outcomes.
+
+    Accepts :class:`QueryStatus` members or their string values (the
+    enum hashes and compares as its value, so mixtures fold together).
+    """
     counts = Counter(statuses)
     return {
-        "exact": counts.get("exact", 0),
-        "partial": counts.get("partial", 0),
-        "miss": counts.get("miss", 0),
+        status.value: counts.get(status, 0) for status in QueryStatus
     }
 
 
@@ -21,7 +25,7 @@ def miss_rate(statuses: Iterable[str]) -> float:
     materialised = list(statuses)
     if not materialised:
         return 0.0
-    return sum(1 for s in materialised if s == "miss") / len(materialised)
+    return sum(1 for s in materialised if s == QueryStatus.MISS) / len(materialised)
 
 
 def top1_accuracy(predictions: Iterable[str | None], truths: Iterable[str]) -> float:

@@ -15,8 +15,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.backend.querier import ApproximateTrace, QueryResult
 from repro.model.trace import Trace
+from repro.query.result import ApproximateTrace, QueryResult, QueryStatus
 
 
 @dataclass
@@ -123,17 +123,31 @@ class BatchAnalysis:
         """Most common aggregated execution paths."""
         return self.path_counts.most_common(10)
 
+    @classmethod
+    def from_cursor(cls, cursor: Iterable[QueryResult]) -> "BatchAnalysis":
+        """Fold a streaming query cursor into one analysis.
+
+        The natural UC 2 pipeline since PR 5: build a
+        :class:`~repro.query.spec.QuerySpec` (batch or predicate),
+        ``execute`` it, and aggregate the cursor — one result is in
+        memory at a time, so windows of thousands of traces stream
+        straight into the panels.
+        """
+        return batch_analyze(cursor)
+
 
 def batch_analyze(results: Iterable[QueryResult]) -> BatchAnalysis:
     """UC 2: run batch aggregation over a window of query results.
 
+    Accepts any iterable of results — a list, or a streaming
+    :class:`~repro.query.cursor.QueryCursor` consumed lazily.
     Approximate traces contribute execution paths, duration buckets and
     error flags — the paper's point is that this multiplies the
     analysable span population versus sampled-only data.
     """
     out = BatchAnalysis()
     for result in results:
-        if result.status == "miss":
+        if result.status is QueryStatus.MISS:
             continue
         out.traces_seen += 1
         if result.trace is not None:

@@ -11,67 +11,26 @@ patterns to reconstruct the original spans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.backend.storage import StorageEngine
 from repro.model.trace import Trace
 from repro.parsing.span_parser import ParsedSpan, approximate_span_view, reconstruct_exact_span
 from repro.parsing.trace_parser import TopoNode, TopoPattern
+from repro.query.result import (
+    ApproximateSegment,
+    ApproximateTrace,
+    QueryResult,
+    QueryStatus,
+)
 
-
-@dataclass
-class ApproximateSegment:
-    """One sub-trace rendered from its topo pattern (variables masked)."""
-
-    topo_pattern_id: str
-    nodes_reporting: list[str]
-    spans: list[dict[str, Any]] = field(default_factory=list)
-    entry_ops: list[tuple[str, str]] = field(default_factory=list)
-    exit_ops: list[tuple[str, str]] = field(default_factory=list)
-
-    @property
-    def span_count(self) -> int:
-        """Spans in this segment."""
-        return len(self.spans)
-
-
-@dataclass
-class ApproximateTrace:
-    """The masked, pattern-level view of an unsampled trace."""
-
-    trace_id: str
-    segments: list[ApproximateSegment] = field(default_factory=list)
-
-    @property
-    def span_count(self) -> int:
-        """Total spans across all segments."""
-        return sum(seg.span_count for seg in self.segments)
-
-    @property
-    def services(self) -> set[str]:
-        """Services on the (approximate) execution path."""
-        return {span["service"] for seg in self.segments for span in seg.spans}
-
-
-@dataclass
-class QueryResult:
-    """Outcome of one trace query.
-
-    ``status`` is ``"exact"`` (full reconstruction), ``"partial"``
-    (approximate trace only) or ``"miss"`` (no record at all) — matching
-    the hit classification used in the paper's Fig. 12 experiment.
-    """
-
-    trace_id: str
-    status: str
-    trace: Trace | None = None
-    approximate: ApproximateTrace | None = None
-
-    @property
-    def is_hit(self) -> bool:
-        """True for exact or partial hits."""
-        return self.status in ("exact", "partial")
+__all__ = [
+    "ApproximateSegment",
+    "ApproximateTrace",
+    "Querier",
+    "QueryResult",
+    "QueryStatus",
+]
 
 
 class Querier:
@@ -85,13 +44,15 @@ class Querier:
         if self.storage.has_params(trace_id):
             trace = self._reconstruct_exact(trace_id)
             if trace is not None:
-                return QueryResult(trace_id=trace_id, status="exact", trace=trace)
+                return QueryResult(
+                    trace_id=trace_id, status=QueryStatus.EXACT, trace=trace
+                )
         approximate = self._reconstruct_approximate(trace_id)
         if approximate is not None:
             return QueryResult(
-                trace_id=trace_id, status="partial", approximate=approximate
+                trace_id=trace_id, status=QueryStatus.PARTIAL, approximate=approximate
             )
-        return QueryResult(trace_id=trace_id, status="miss")
+        return QueryResult(trace_id=trace_id, status=QueryStatus.MISS)
 
     # ------------------------------------------------------------------
     # Exact reconstruction

@@ -304,6 +304,22 @@ class MergedStorageView:
     # ------------------------------------------------------------------
     # StorageEngine-shaped lookups
     # ------------------------------------------------------------------
+    def prescreen_candidates(self, trace_id: str) -> set[str]:
+        """Topo patterns the merged OR index cannot rule out for a trace.
+
+        The public face of the negative pre-screen: patterns whose
+        accumulator saturated out of the index are unconditional
+        candidates, the rest are candidates only when some merged
+        accumulator (any geometry) reports the trace.  The query
+        planner pushes this down per batch — a pattern absent here
+        needs no probing on any shard.
+        """
+        candidates: set[str] = set(self._prescreen_saturated)
+        for pattern_id, groups in self._merged_blooms.items():
+            if any(trace_id in merged for merged in groups.values()):
+                candidates.add(pattern_id)
+        return candidates
+
     def patterns_matching_trace(self, trace_id: str) -> list[StoredBloom]:
         """All stored filters (across shards) that may contain the trace.
 
@@ -314,10 +330,7 @@ class MergedStorageView:
         out of the index) are confirmed filter by filter, so the result
         set is exactly the single backend's.
         """
-        candidates: set[str] = set(self._prescreen_saturated)
-        for pattern_id, groups in self._merged_blooms.items():
-            if any(trace_id in merged for merged in groups.values()):
-                candidates.add(pattern_id)
+        candidates = self.prescreen_candidates(trace_id)
         if not candidates:
             return []
         return [

@@ -1,26 +1,33 @@
 """Tracing frameworks compared in the paper's evaluation.
 
 All frameworks implement the :class:`~repro.baselines.base.TracingFramework`
-interface and are charged through identical byte meters, so the Fig. 11
-comparison is apples-to-apples:
+interface — including the unified query plane: every one is a
+:class:`~repro.query.engine.QueryEngine` answering
+:class:`~repro.query.result.QueryResult` — and are charged through
+identical byte meters, so the Fig. 11 comparison is apples-to-apples:
 
 * ``OTFull`` — OpenTelemetry, 100 % sampling (the no-reduction reference);
 * ``OTHead`` — head sampling at a fixed rate (default 5 %);
 * ``OTTail`` — tail sampling on the ``is_abnormal`` tag;
 * ``Hindsight`` — retroactive sampling with breadcrumbs (NSDI '23);
-* ``Sieve`` — RRCF-based biased tail sampling (ICWS '21);
-* ``MintFramework`` — this paper; its
-  :class:`~repro.transport.deployment.Deployment` parameter selects the
-  topology (single backend, or N shards — shard-count-invariant by
-  construction), so one class covers every deployment.
+* ``Sieve`` — RRCF-based biased tail sampling (ICWS '21).
+
+``MintFramework`` — this paper's system — is *not* a baseline and
+lives at :mod:`repro.framework` since PR 5; it is still importable
+from here (lazily, to keep the package import-cycle-free) for
+backwards compatibility.
 """
+
+from typing import TYPE_CHECKING
 
 from repro.baselines.base import FrameworkQueryResult, TracingFramework
 from repro.baselines.hindsight import Hindsight
-from repro.baselines.mint_framework import MintFramework
 from repro.baselines.otel import OTFull, OTHead, OTTail
 from repro.baselines.rrcf import RandomCutTree, RobustRandomCutForest
 from repro.baselines.sieve import Sieve
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.framework import MintFramework
 
 __all__ = [
     "TracingFramework",
@@ -34,3 +41,14 @@ __all__ = [
     "RandomCutTree",
     "MintFramework",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated re-export, resolved lazily: repro.framework subclasses
+    # TracingFramework from this package, so an eager import here would
+    # be a cycle whenever repro.framework is imported first.
+    if name == "MintFramework":
+        from repro.framework import MintFramework
+
+        return MintFramework
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

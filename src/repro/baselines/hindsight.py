@@ -18,10 +18,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable
 
-from repro.baselines.base import FrameworkQueryResult, TracingFramework
-from repro.baselines.otel import is_abnormal_trace
+from repro.baselines.base import TracingFramework
+from repro.baselines.otel import is_abnormal_trace, stored_trace_result
 from repro.model.encoding import encoded_size
 from repro.model.trace import Trace
+from repro.query.result import QueryResult
 
 # One breadcrumb per (trace, node) pair: trace id + node id + flags.
 BREADCRUMB_BYTES = 40
@@ -43,7 +44,7 @@ class Hindsight(TracingFramework):
         # Per-node FIFO buffers: node -> OrderedDict[trace_id, bytes].
         self._buffers: dict[str, OrderedDict[str, int]] = {}
         self._buffer_used: dict[str, int] = {}
-        self._stored: set[str] = set()
+        self._stored: dict[str, Trace] = {}
 
     def process_trace(self, trace: Trace, now: float = 0.0) -> None:
         sub_traces = trace.sub_traces()
@@ -75,11 +76,10 @@ class Hindsight(TracingFramework):
         if retrieved:
             self.ledger.network.record(retrieved, now)
             self.ledger.storage.record(retrieved, now)
-            self._stored.add(trace.trace_id)
+            self._stored[trace.trace_id] = trace
 
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        status = "exact" if trace_id in self._stored else "miss"
-        return FrameworkQueryResult(trace_id=trace_id, status=status)
+    def query(self, trace_id: str) -> QueryResult:
+        return stored_trace_result(trace_id, self._stored)
 
     def stored_trace_ids(self) -> set[str]:
         return set(self._stored)

@@ -1,227 +1,23 @@
-"""Mint behind the common :class:`TracingFramework` interface.
+"""Deprecated location of :class:`~repro.framework.MintFramework`.
 
-Deploys one agent + collector per application node (nodes are
-discovered from incoming spans), a backend plane built from a
-:class:`~repro.transport.deployment.Deployment` descriptor, and the
-descriptor's transport — the in-process
-:class:`~repro.transport.transport.LocalTransport`, or the simulated
-network plane when ``deployment.network`` is set — charging the
-network and storage meters at the wire.  Storage is whatever the
-backend's storage engine actually persists — patterns, Bloom filters
-and sampled parameters.
-
-There is no sharded subclass: ``MintFramework(deployment=
-Deployment.sharded(4))`` runs the identical agent/collector fleet over
-four backend shards, with per-shard ledgers charged by the same
-transport.  Topology never perturbs parsing or sampling — query
-results and byte tables are invariant across deployments by contract.
+Mint is the system under test, not a baseline; since PR 5 the class
+lives at :mod:`repro.framework`.  This module remains so historical
+imports (``from repro.baselines.mint_framework import MintFramework``)
+keep working; new code should import from :mod:`repro.framework` (or
+``from repro import MintFramework``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+import warnings
 
-from repro.agent.agent import MintAgent
-from repro.agent.collector import MintCollector
-from repro.agent.config import MintConfig
-from repro.agent.samplers import Sampler
-from repro.backend.querier import QueryResult
-from repro.backend.sharded import ShardSummary
-from repro.baselines.base import FrameworkQueryResult, TracingFramework
-from repro.model.span import Span
-from repro.model.trace import Trace
-from repro.sim.meters import OverheadLedger, ShardLedgerRow
-from repro.transport import Deployment
+from repro.framework import MintFramework, SamplerFactory
 
-SamplerFactory = Callable[[], Sampler]
+__all__ = ["MintFramework", "SamplerFactory"]
 
-
-class MintFramework(TracingFramework):
-    """The full Mint deployment as one comparable framework.
-
-    ``deployment`` selects the topology (default: the single reference
-    backend).  A sharded deployment additionally keeps one
-    :class:`OverheadLedger` per shard, charged by the transport in
-    lockstep with the deployment-wide ledger, giving the per-shard
-    MB/min panels of the scaling experiments.
-    """
-
-    name = "Mint"
-
-    def __init__(
-        self,
-        config: MintConfig | None = None,
-        extra_sampler_factories: list[SamplerFactory] | None = None,
-        auto_warmup_traces: int = 100,
-        deployment: Deployment | None = None,
-    ) -> None:
-        super().__init__()
-        self.deployment = deployment if deployment is not None else Deployment.single()
-        self.config = config or MintConfig()
-        self._extra_factories = list(extra_sampler_factories or [])
-        self._collectors: dict[str, MintCollector] = {}
-        self._now = 0.0
-        self._warmed_up = False
-        self._auto_warmup_traces = auto_warmup_traces
-        self._warmup_queue: list[Trace] = []
-        self.shard_ledgers = [
-            OverheadLedger() for _ in range(self.deployment.ledger_count)
-        ]
-        self.backend = self.deployment.build_backend(self.config)
-        # The transport is the deployment's only metering point: it
-        # claims the backend's notify meter and charges report bytes,
-        # control pings and storage growth on every attached ledger.
-        # The descriptor picks the wire — in-process LocalTransport, or
-        # the simulated network plane when ``deployment.network`` is set.
-        self.transport = self.deployment.build_transport(
-            backend=self.backend,
-            ledger=self.ledger,
-            clock=lambda: self._now,
-            shard_ledgers=self.shard_ledgers,
-        )
-        if self.deployment.is_sharded:
-            self.name = f"Mint-Sharded({self.deployment.num_shards})"
-
-    # ------------------------------------------------------------------
-    # Warm-up (paper Section 3.2.1 offline stage)
-    # ------------------------------------------------------------------
-    def warm_up(self, traces: Iterable[Trace]) -> None:
-        """Run the offline warm-up on sampled raw traces.
-
-        Spans are routed to their node's agent; each agent builds its
-        attribute parsers from its local sample.  Warm-up happens before
-        any metering — the paper treats it as an offline bootstrap.
-        """
-        per_node: dict[str, list[Span]] = {}
-        for trace in traces:
-            for span in trace.spans:
-                per_node.setdefault(span.node, []).append(span)
-        for node, spans in per_node.items():
-            collector = self._collector_for(node)
-            collector.agent.warm_up(spans)
-        self._warmed_up = True
-
-    # ------------------------------------------------------------------
-    # Ingest
-    # ------------------------------------------------------------------
-    def process_trace(self, trace: Trace, now: float = 0.0) -> None:
-        self._now = now
-        if not self._warmed_up:
-            self._warmup_queue.append(trace)
-            if len(self._warmup_queue) >= self._auto_warmup_traces:
-                self._drain_warmup_queue()
-            return
-        self._process_online(trace, now)
-
-    def _drain_warmup_queue(self) -> None:
-        queued = self._warmup_queue
-        self._warmup_queue = []
-        self.warm_up(queued)
-        for trace in queued:
-            self._process_online(trace, self._now)
-
-    def _process_online(self, trace: Trace, now: float) -> None:
-        sampled_on: list[str] = []
-        for sub_trace in trace.sub_traces():
-            collector = self._collector_for(sub_trace.node)
-            result = collector.process(sub_trace, now)
-            if result.sampled:
-                sampled_on.append(sub_trace.node)
-        for node in sampled_on:
-            self.backend.notify_sampled(trace.trace_id, origin_node=node)
-        self.transport.sync_storage()
-
-    def finalize(self, now: float = 0.0) -> None:
-        """Flush warm-up queue, pattern reports, Bloom filters, params.
-
-        A networked transport is then drained to quiescence — pending
-        batches flushed, in-flight retries delivered and acked — before
-        the final storage sync, so queries after ``finalize`` always
-        see the converged store.
-        """
-        self._now = now
-        if not self._warmed_up and self._warmup_queue:
-            self._drain_warmup_queue()
-        for collector in self._collectors.values():
-            collector.flush(now)
-        self.transport.drain()
-        self.transport.sync_storage()
-
-    # ------------------------------------------------------------------
-    # Query
-    # ------------------------------------------------------------------
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        result = self.backend.query(trace_id)
-        return FrameworkQueryResult(trace_id=trace_id, status=result.status)
-
-    def query_full(self, trace_id: str) -> QueryResult:
-        """Mint-specific query returning the reconstructed trace or the
-        approximate trace (not just the status)."""
-        return self.backend.query(trace_id)
-
-    def stored_trace_ids(self) -> set[str]:
-        return set(self.backend.storage.params)
-
-    # ------------------------------------------------------------------
-    # Wiring
-    # ------------------------------------------------------------------
-    def _collector_for(self, node: str) -> MintCollector:
-        collector = self._collectors.get(node)
-        if collector is not None:
-            return collector
-        agent = MintAgent(
-            node=node,
-            config=self.config,
-            extra_samplers=[factory() for factory in self._extra_factories],
-        )
-        collector = MintCollector(
-            agent=agent,
-            transport=self.transport,
-            config=self.config,
-        )
-        self._collectors[node] = collector
-        self.backend.register_collector(collector)
-        return collector
-
-    # ------------------------------------------------------------------
-    # Network-plane panels (zero / None for the in-process wire)
-    # ------------------------------------------------------------------
-    @property
-    def retransmit_bytes(self) -> int:
-        """Redundant wire bytes (retransmissions + chaos duplicates).
-
-        Charged on the network plane's separate retransmit meter, never
-        on the network meter — the fig02/fig11 byte tables are loss-
-        invariant by construction.  Always 0 on ``LocalTransport``.
-        """
-        meter = self.transport.retransmit
-        return meter.total_bytes if meter is not None else 0
-
-    def net_stats(self) -> dict | None:
-        """The network plane's delivery metrics, when one is deployed."""
-        return self.transport.stats_summary()
-
-    # ------------------------------------------------------------------
-    # Per-shard panels (empty for the single deployment)
-    # ------------------------------------------------------------------
-    def shard_summaries(self) -> list[ShardSummary]:
-        """Per-shard storage tables from the backend."""
-        if not self.deployment.is_sharded:
-            return []
-        return self.backend.shard_summaries()
-
-    def shard_meter_rows(self) -> list[ShardLedgerRow]:
-        """Per-shard network/storage totals (physical, not deduplicated).
-
-        Summed shard storage can exceed the deployment ledger's figure:
-        the gap is exactly the merge layer's replicated pattern bytes
-        (``backend.merged.replicated_pattern_bytes()``).
-        """
-        return [
-            ShardLedgerRow(
-                shard=i,
-                network_bytes=ledger.network.total_bytes,
-                storage_bytes=ledger.storage.total_bytes,
-            )
-            for i, ledger in enumerate(self.shard_ledgers)
-        ]
+warnings.warn(
+    "repro.baselines.mint_framework is deprecated; import MintFramework "
+    "from repro.framework (or from repro) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

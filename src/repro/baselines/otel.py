@@ -12,9 +12,10 @@ from __future__ import annotations
 import random
 from typing import Callable
 
-from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.baselines.base import TracingFramework
 from repro.model.encoding import encoded_size
 from repro.model.trace import Trace
+from repro.query.result import QueryResult, QueryStatus
 
 
 def is_abnormal_trace(trace: Trace) -> bool:
@@ -26,6 +27,20 @@ def is_abnormal_trace(trace: Trace) -> bool:
     return False
 
 
+def stored_trace_result(trace_id: str, stored: dict[str, Trace]) -> QueryResult:
+    """The '1 or 0' answer: the stored trace exactly, or a miss.
+
+    Shared by every full-fidelity baseline — these stores keep whole
+    traces, so an exact hit carries the trace itself and predicate
+    specs evaluate against real spans, through the same
+    :class:`~repro.query.result.QueryResult` Mint returns.
+    """
+    trace = stored.get(trace_id)
+    if trace is None:
+        return QueryResult(trace_id=trace_id, status=QueryStatus.MISS)
+    return QueryResult(trace_id=trace_id, status=QueryStatus.EXACT, trace=trace)
+
+
 class OTFull(TracingFramework):
     """OpenTelemetry with a 100 % sampling rate (no reduction)."""
 
@@ -33,17 +48,16 @@ class OTFull(TracingFramework):
 
     def __init__(self) -> None:
         super().__init__()
-        self._stored: dict[str, int] = {}
+        self._stored: dict[str, Trace] = {}
 
     def process_trace(self, trace: Trace, now: float = 0.0) -> None:
         size = encoded_size(trace)
         self.ledger.network.record(size, now)
         self.ledger.storage.record(size, now)
-        self._stored[trace.trace_id] = size
+        self._stored[trace.trace_id] = trace
 
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        status = "exact" if trace_id in self._stored else "miss"
-        return FrameworkQueryResult(trace_id=trace_id, status=status)
+    def query(self, trace_id: str) -> QueryResult:
+        return stored_trace_result(trace_id, self._stored)
 
     def stored_trace_ids(self) -> set[str]:
         return set(self._stored)
@@ -65,7 +79,7 @@ class OTHead(TracingFramework):
             raise ValueError("rate must be in [0, 1]")
         self.rate = rate
         self._seed = seed
-        self._stored: set[str] = set()
+        self._stored: dict[str, Trace] = {}
 
     def sampled(self, trace_id: str) -> bool:
         """Per-trace-id coin flip, identical on every node."""
@@ -77,11 +91,10 @@ class OTHead(TracingFramework):
         size = encoded_size(trace)
         self.ledger.network.record(size, now)
         self.ledger.storage.record(size, now)
-        self._stored.add(trace.trace_id)
+        self._stored[trace.trace_id] = trace
 
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        status = "exact" if trace_id in self._stored else "miss"
-        return FrameworkQueryResult(trace_id=trace_id, status=status)
+    def query(self, trace_id: str) -> QueryResult:
+        return stored_trace_result(trace_id, self._stored)
 
     def stored_trace_ids(self) -> set[str]:
         return set(self._stored)
@@ -96,18 +109,17 @@ class OTTail(TracingFramework):
     def __init__(self, predicate: Callable[[Trace], bool] | None = None) -> None:
         super().__init__()
         self.predicate = predicate or is_abnormal_trace
-        self._stored: set[str] = set()
+        self._stored: dict[str, Trace] = {}
 
     def process_trace(self, trace: Trace, now: float = 0.0) -> None:
         size = encoded_size(trace)
         self.ledger.network.record(size, now)
         if self.predicate(trace):
             self.ledger.storage.record(size, now)
-            self._stored.add(trace.trace_id)
+            self._stored[trace.trace_id] = trace
 
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        status = "exact" if trace_id in self._stored else "miss"
-        return FrameworkQueryResult(trace_id=trace_id, status=status)
+    def query(self, trace_id: str) -> QueryResult:
+        return stored_trace_result(trace_id, self._stored)
 
     def stored_trace_ids(self) -> set[str]:
         return set(self._stored)

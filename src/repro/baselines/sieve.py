@@ -12,11 +12,13 @@ from __future__ import annotations
 import hashlib
 from collections import deque
 
-from repro.baselines.base import FrameworkQueryResult, TracingFramework
+from repro.baselines.base import TracingFramework
+from repro.baselines.otel import stored_trace_result
 from repro.baselines.rrcf import RobustRandomCutForest
 from repro.model.encoding import encoded_size
 from repro.model.span import SpanStatus
 from repro.model.trace import Trace
+from repro.query.result import QueryResult
 
 _FEATURE_DIMS = 12
 
@@ -64,7 +66,7 @@ class Sieve(TracingFramework):
             num_trees=num_trees, window_size=window_size, seed=seed
         )
         self._recent_scores: deque[float] = deque(maxlen=window_size)
-        self._stored: set[str] = set()
+        self._stored: dict[str, Trace] = {}
         self._seen = 0
 
     def process_trace(self, trace: Trace, now: float = 0.0) -> None:
@@ -79,7 +81,7 @@ class Sieve(TracingFramework):
             return
         if score >= threshold:
             self.ledger.storage.record(size, now)
-            self._stored.add(trace.trace_id)
+            self._stored[trace.trace_id] = trace
 
     def _threshold(self) -> float:
         """Score cutoff putting ~budget_rate of recent traffic above it."""
@@ -89,9 +91,8 @@ class Sieve(TracingFramework):
         rank = int((1.0 - self.budget_rate) * (len(ordered) - 1))
         return ordered[rank]
 
-    def query(self, trace_id: str) -> FrameworkQueryResult:
-        status = "exact" if trace_id in self._stored else "miss"
-        return FrameworkQueryResult(trace_id=trace_id, status=status)
+    def query(self, trace_id: str) -> QueryResult:
+        return stored_trace_result(trace_id, self._stored)
 
     def stored_trace_ids(self) -> set[str]:
         return set(self._stored)

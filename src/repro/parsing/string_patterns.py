@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from repro.parsing.clustering import StringCluster
@@ -119,12 +120,19 @@ class StringTemplate:
         return self.text
 
 
+@lru_cache(maxsize=4096)
 def template_from_text(text: str) -> StringTemplate:
     """Rebuild a template from its rendered text.
 
     ``<*>`` survives tokenisation when delimiter-separated; when a
     wildcard abuts a word with no delimiter (``exec<*>``), the combined
     token is split back apart so wildcard counts round-trip exactly.
+
+    Pure text -> immutable template, so the result is memoised: exact
+    reconstruction calls this once per pattern attribute per *query*,
+    and the tokenise + regex-compile round-trip dominated the query
+    hot path before the cache (the distinct-template population is the
+    pattern library's, i.e. small and convergent).
     """
     from repro.parsing.tokenizer import tokenize
 

@@ -1,0 +1,72 @@
+"""Streaming result cursors.
+
+``query_many`` over thousands of ids must never materialise the full
+result set: exact hits carry whole reconstructed traces, and the
+Fig. 12 workloads sweep entire days of traffic.  A
+:class:`QueryCursor` wraps the planner's lazily-evaluated result
+stream — each ``next()`` reconstructs exactly one trace — while
+exposing the plan's pushdown statistics and small folding helpers for
+the common "count the statuses" consumers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.query.result import QueryResult, QueryStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.planner import PlanStats
+    from repro.query.spec import QuerySpec
+
+
+class QueryCursor:
+    """A lazy iterator of :class:`QueryResult` for one executed spec.
+
+    Results are produced on demand, in the spec's candidate order.
+    ``stats`` is live: it reflects the probes and prunes of the results
+    yielded *so far*, and is final once the cursor is exhausted.
+    """
+
+    def __init__(
+        self,
+        spec: "QuerySpec",
+        results: Iterator[QueryResult],
+        stats: "PlanStats",
+    ) -> None:
+        self.spec = spec
+        self.stats = stats
+        self._results = iter(results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return self
+
+    def __next__(self) -> QueryResult:
+        return next(self._results)
+
+    # ------------------------------------------------------------------
+    # Folding helpers
+    # ------------------------------------------------------------------
+    def all(self) -> list[QueryResult]:
+        """Drain the cursor into a list (small batches / tests only)."""
+        return list(self._results)
+
+    def one(self) -> QueryResult:
+        """The single result of a point lookup.
+
+        Raises ``LookupError`` when the cursor yields nothing (a
+        predicate spec whose candidate matched nothing) — point/batch
+        specs always yield one result per requested id, misses
+        included, so the historical ``query(trace_id)`` can never trip
+        this.
+        """
+        for result in self._results:
+            return result
+        raise LookupError(f"{self.spec.describe()} produced no result")
+
+    def statuses(self) -> dict[QueryStatus, int]:
+        """Drain and fold into Fig. 12-style status counts."""
+        counts = {status: 0 for status in QueryStatus}
+        for result in self._results:
+            counts[result.status] += 1
+        return counts

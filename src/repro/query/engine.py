@@ -1,0 +1,32 @@
+"""The engine protocol every queryable framework implements.
+
+``execute`` is the one entry point — point lookups and ``query_many``
+are sugar over specs — so harnesses, benches and the explorer can be
+written once against :class:`QueryEngine` and run unchanged over Mint
+(any deployment topology) and every baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.query.cursor import QueryCursor
+from repro.query.result import QueryResult
+from repro.query.spec import QuerySpec
+
+
+@runtime_checkable
+class QueryEngine(Protocol):
+    """Anything that answers :class:`QuerySpec` queries."""
+
+    def execute(self, spec: QuerySpec) -> QueryCursor:
+        """Compile and run one spec, returning a streaming cursor."""
+        ...  # pragma: no cover - protocol
+
+    def query(self, trace_id: str) -> QueryResult:
+        """Point lookup: the single result for one trace id."""
+        ...  # pragma: no cover - protocol
+
+    def query_many(self, trace_ids: Iterable[str]) -> QueryCursor:
+        """Batch lookup: one result per id, request order, misses kept."""
+        ...  # pragma: no cover - protocol

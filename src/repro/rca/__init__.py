@@ -13,12 +13,19 @@ from repro.rca.microrank import MicroRank
 from repro.rca.spectrum import SpectrumCounts, anomalous_spans, ochiai
 from repro.rca.traceanomaly import TraceAnomaly
 from repro.rca.tracerca import TraceRCA
-from repro.rca.views import SpanView, TraceView, view_from_approximate, views_from_traces
+from repro.rca.views import (
+    SpanView,
+    TraceView,
+    view_from_approximate,
+    views_from_cursor,
+    views_from_traces,
+)
 
 __all__ = [
     "SpanView",
     "TraceView",
     "views_from_traces",
+    "views_from_cursor",
     "view_from_approximate",
     "SpectrumCounts",
     "ochiai",

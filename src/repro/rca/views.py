@@ -16,9 +16,9 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.backend.querier import ApproximateTrace
 from repro.model.span import SpanStatus
 from repro.model.trace import Trace
+from repro.query.result import ApproximateTrace, QueryResult
 
 
 @dataclass(frozen=True)
@@ -85,6 +85,24 @@ def view_from_trace(trace: Trace) -> TraceView:
 def views_from_traces(traces: Iterable[Trace]) -> list[TraceView]:
     """Vectorised :func:`view_from_trace`."""
     return [view_from_trace(t) for t in traces]
+
+
+def views_from_cursor(results: Iterable[QueryResult]) -> list[TraceView]:
+    """Build RCA views from a streaming query cursor.
+
+    The batch constructor of the PR 5 query plane: exact hits map
+    through :func:`view_from_trace`, partial hits through
+    :func:`view_from_approximate`, misses contribute nothing.  Results
+    stream one at a time, so a cursor over thousands of ids feeds RCA
+    without materialising the reconstruction set.
+    """
+    views: list[TraceView] = []
+    for result in results:
+        if result.trace is not None:
+            views.append(view_from_trace(result.trace))
+        elif result.approximate is not None:
+            views.append(view_from_approximate(result.approximate))
+    return views
 
 
 def view_from_approximate(approx: ApproximateTrace) -> TraceView:

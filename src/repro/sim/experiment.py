@@ -13,10 +13,11 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.analysis.metrics import hit_breakdown
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework
+from repro.framework import MintFramework
 from repro.model.trace import Trace
-from repro.rca.views import TraceView, view_from_approximate, views_from_traces
+from repro.rca.views import TraceView, views_from_cursor, views_from_traces
 from repro.sim.meters import ShardLedgerRow
 from repro.transport import Deployment
 from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
@@ -126,10 +127,12 @@ def run_experiment(
             last_now = now
         framework.finalize(last_now)
         elapsed = time.perf_counter() - started
-        hits: dict[str, int] = {"exact": 0, "partial": 0, "miss": 0}
-        if query_all:
-            for _, trace in stream:
-                hits[framework.query(trace.trace_id).status] += 1
+        # One batched sweep through the unified query plane, folded by
+        # the shared metric helper (plain string keys for the tables).
+        hits = hit_breakdown(
+            answer.status
+            for answer in framework.query_many(t.trace_id for _, t in stream)
+        ) if query_all else hit_breakdown(())
         result.runs[name] = FrameworkRun(
             name=name,
             network_bytes=framework.network_bytes,
@@ -330,12 +333,10 @@ def run_net_experiment(
         framework.finalize(last_now)
         elapsed = time.perf_counter() - started
         signature = [
-            (trace.trace_id, framework.query(trace.trace_id).status)
-            for _, trace in stream
+            (result.trace_id, result.status)
+            for result in framework.query_many(t.trace_id for _, t in stream)
         ]
-        hits = {"exact": 0, "partial": 0, "miss": 0}
-        for _, status in signature:
-            hits[status] += 1
+        hits = hit_breakdown(status for _, status in signature)
         run = FrameworkRun(
             name=framework.name,
             network_bytes=framework.network_bytes,
@@ -428,10 +429,9 @@ def rca_views_for_framework(
     stored = framework.stored_trace_ids()
     views = views_from_traces(by_id[tid] for tid in stored if tid in by_id)
     if isinstance(framework, MintFramework):
-        for trace_id, trace in by_id.items():
-            if trace_id in stored:
-                continue
-            query = framework.query_full(trace_id)
-            if query.approximate is not None:
-                views.append(view_from_approximate(query.approximate))
+        # One batched cursor over the unsampled remainder: partial hits
+        # contribute approximate views, misses nothing (Mint's exact
+        # hits are already covered by the stored population above).
+        missing = [tid for tid in by_id if tid not in stored]
+        views.extend(views_from_cursor(framework.query_many(missing)))
     return views

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.baselines.base import TracingFramework
-from repro.baselines.mint_framework import MintFramework
+from repro.framework import MintFramework
 from repro.model.encoding import encoded_size
 from repro.sim.experiment import generate_stream
 from repro.transport import Deployment

@@ -20,14 +20,18 @@ coincidental — both run the exact same code here, differing only in
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport, Report
+from repro.query.cursor import QueryCursor
+from repro.query.planner import QueryPlanner
+from repro.query.result import QueryResult
+from repro.query.spec import QuerySpec
 from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.agent.collector import MintCollector
-    from repro.backend.querier import Querier, QueryResult
+    from repro.backend.querier import Querier
     from repro.backend.storage import StorageEngine
 
 
@@ -151,31 +155,54 @@ class BackendPlane(abc.ABC):
     # ------------------------------------------------------------------
     # Query plane
     # ------------------------------------------------------------------
-    def query(self, trace_id: str, pull_params: bool = False) -> "QueryResult":
-        """Answer a user trace query (exact / partial / miss).
+    def execute(self, spec: QuerySpec) -> QueryCursor:
+        """Compile and run one :class:`QuerySpec` over this topology.
 
-        With ``pull_params`` (the 'Query Trace ID' arrow into sampling
-        in paper Fig. 9), a partial result triggers a retroactive
-        parameter pull: every collector is asked to upload the trace's
-        parameters if still buffered, upgrading the answer to exact
-        when the buffers cooperate.
+        The planner pushes the Bloom pre-screen and predicate filters
+        down to the storage view (per-shard filter index, amortised
+        across the batch); this layer contributes the one thing only
+        the plane can do — the retroactive parameter pull (the 'Query
+        Trace ID' arrow into sampling in paper Fig. 9): with
+        ``spec.pull_params``, a partial result asks every collector to
+        upload the trace's parameters if still buffered, upgrading the
+        answer to exact when the buffers cooperate.  Execution is
+        lazy: each ``next()`` on the cursor reconstructs one trace.
         """
-        result = self.querier.query(trace_id)
-        if not pull_params or result.status != "partial":
-            return result
+        plan = QueryPlanner(self.storage).plan(spec)
+        if spec.pull_params:
+            # Claim the plan's upgrade hook: the pull runs on each
+            # partial reconstruction *before* predicates judge it, so a
+            # pulled-to-exact trace is filtered on its real spans.
+            plan.upgrade = lambda result: self._pull_params(result, plan.stats)
+        return QueryCursor(spec, plan.results(), plan.stats)
+
+    def query(self, trace_id: str, pull_params: bool = False) -> QueryResult:
+        """Answer a user trace query (exact / partial / miss)."""
+        return self.execute(QuerySpec.point(trace_id, pull_params=pull_params)).one()
+
+    def query_many(self, trace_ids: Iterable[str], pull_params: bool = False) -> QueryCursor:
+        """Batch lookup: one result per id, request order, misses kept."""
+        return self.execute(QuerySpec.batch(trace_ids, pull_params=pull_params))
+
+    def _pull_params(self, result: QueryResult, stats) -> QueryResult:
+        """Retroactively pull a partial hit's parameters from the fleet."""
+        trace_id = result.trace_id
         pulled = False
         for collector in self._collectors:
             if collector.request_params(trace_id):
                 pulled = True
-        if pulled:
-            # A networked transport may only have *queued* the pulled
-            # uploads; flush them into storage before re-querying, or
-            # the upgrade-to-exact contract silently breaks.
-            if self.flush_transport is not None:
-                self.flush_transport()
-            self.storage.sampled_trace_ids.add(trace_id)
-            return self.querier.query(trace_id)
-        return result
+        if not pulled:
+            return result
+        # A networked transport may only have *queued* the pulled
+        # uploads; flush them into storage before re-querying, or the
+        # upgrade-to-exact contract silently breaks.  The re-query runs
+        # against the live store (not the plan's snapshot view) because
+        # the pull just changed it.
+        if self.flush_transport is not None:
+            self.flush_transport()
+        self.storage.sampled_trace_ids.add(trace_id)
+        stats.params_pulled += 1
+        return self.querier.query(trace_id)
 
     # ------------------------------------------------------------------
     # Accounting

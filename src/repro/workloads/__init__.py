@@ -11,7 +11,7 @@ from repro.workloads.alibaba import DATASET_SPECS, SUBSERVICE_SPECS, build_datas
 from repro.workloads.faults import FaultInjector, FaultSpec, FaultType
 from repro.workloads.generator import TraceGenerator, WorkloadDriver
 from repro.workloads.onlineboutique import build_onlineboutique
-from repro.workloads.queries import QueryWorkload, TraceRecord
+from repro.workloads.queries import QueryWorkload, TraceRecord, incident_window_spec
 from repro.workloads.specs import (
     ApiSpec,
     CallSpec,
@@ -40,4 +40,5 @@ __all__ = [
     "SUBSERVICE_SPECS",
     "QueryWorkload",
     "TraceRecord",
+    "incident_window_spec",
 ]

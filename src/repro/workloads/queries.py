@@ -7,12 +7,23 @@ window.  :class:`QueryWorkload` reproduces that behaviour: a fraction
 of queries target known-abnormal traces, the rest are drawn (seeded,
 uniformly) from the whole population — the unpredictable tail that
 drives the ~27 % miss rate of '1 or 0' sampling.
+
+Since PR 5 the model also speaks the query plane's language: the
+sampled id streams compile into :class:`~repro.query.spec.QuerySpec`
+batches, and :func:`incident_window_spec` expresses the paper's
+Mar. 21 investigation ("all error traces for service X in the incident
+window") as one declarative predicate query whose candidate universe
+is the analyst's request log — exactly the after-the-fact setting the
+paper models, since a pattern-based store can only *answer about* ids,
+never enumerate them.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+
+from repro.query.spec import QuerySpec
 
 
 @dataclass(frozen=True)
@@ -67,3 +78,51 @@ class QueryWorkload:
         ]
         pool = in_window or records
         return [self._rng.choice(pool).trace_id for _ in range(count)]
+
+    def sample_spec(
+        self,
+        records: list[TraceRecord],
+        count: int,
+        pull_params: bool = False,
+    ) -> QuerySpec:
+        """The Fig. 12 daily query stream as one batch spec.
+
+        Same draw as :meth:`sample_queries` (and it advances the same
+        seeded RNG), packaged for ``QueryEngine.execute``: one result
+        per queried id, misses included.
+        """
+        return QuerySpec.batch(
+            self.sample_queries(records, count), pull_params=pull_params
+        )
+
+
+def incident_window_spec(
+    records: list[TraceRecord],
+    window_start: float,
+    window_end: float,
+    service: str | None = None,
+    operation: str | None = None,
+    error_only: bool = False,
+    limit: int | None = None,
+    pull_params: bool = False,
+) -> QuerySpec:
+    """Compile an incident investigation into one predicate spec.
+
+    The candidate universe is the request log's ids inside the window
+    (time pushdown happens here, where the timestamps live — the store
+    keeps none for unsampled traces), and the content predicates
+    (service / operation / error status) are pushed down to the
+    engine, which evaluates them against each reconstruction.  The
+    window is also recorded on the spec so exact reconstructions are
+    re-checked against real span timestamps.
+    """
+    in_window = [r for r in records if window_start <= r.timestamp < window_end]
+    return QuerySpec.where(
+        candidates=[r.trace_id for r in in_window],
+        service=service,
+        operation=operation,
+        error_only=error_only,
+        time_range=(window_start, window_end),
+        limit=limit,
+        pull_params=pull_params,
+    )

@@ -66,3 +66,36 @@ class TestRetroactivePull:
             "miss",
             "partial",
         )
+
+
+class TestPullThroughSpecs:
+    def test_pull_spec_upgrades_like_point_lookup(self):
+        from repro.query import QuerySpec
+
+        backend, collector = wire()
+        for i in range(3, 9):
+            collector.process(subtrace(f"{i:032x}"), now=float(i))
+        collector.flush(now=100.0)
+        target = f"{6:032x}"
+        assert backend.query(target).status == "partial"
+        result = backend.execute(QuerySpec.point(target, pull_params=True)).one()
+        assert result.status == "exact"
+
+    def test_pull_runs_before_predicate_evaluation(self):
+        from repro.query import QuerySpec
+
+        backend, collector = wire()
+        for i in range(3, 9):
+            collector.process(subtrace(f"{i:032x}"), now=float(i))
+        collector.flush(now=100.0)
+        target = f"{6:032x}"
+        assert backend.query(target).status == "partial"
+        # A window no real span falls into: the timestamp-less partial
+        # would sail through it, but the pull must upgrade the answer
+        # *first* so the predicate judges the exact trace's real spans.
+        spec = QuerySpec.where(
+            candidates=[target], time_range=(1000.0, 2000.0), pull_params=True
+        )
+        assert backend.execute(spec).all() == []
+        # The pull itself did happen: the params are persisted now.
+        assert backend.query(target).status == "exact"

@@ -1,6 +1,6 @@
 """Unit tests for the Mint framework adapter (agents + backend wired)."""
 
-from repro.baselines.mint_framework import MintFramework
+from repro.framework import MintFramework
 from repro.baselines.otel import OTFull
 from tests.conftest import make_chain_trace
 

@@ -146,7 +146,7 @@ class TestMethods:
 class TestApproximateViews:
     def test_views_from_mint_approximate_traces(self):
         from repro.agent.config import MintConfig
-        from repro.baselines.mint_framework import MintFramework
+        from repro.framework import MintFramework
 
         workload = build_onlineboutique()
         driver = WorkloadDriver(workload, seed=4)
