@@ -1,0 +1,289 @@
+"""Elastic deployment measurement: reshard identity, failover, autoscale.
+
+Three measurements back the gates of ``run_elastic_bench.py --check``:
+
+* **Reshard bit-identity** — a live ``from_n -> to_n`` migration (one
+  host per ingested trace, ingest never pausing) must leave the
+  deployment bit-identical to a fresh ``Deployment.sharded(to_n)`` run
+  over the same stream: byte tables, full query signatures,
+  stored-trace sets and host placement — with every migrated byte
+  confined to the separate ``migration`` meter.  Measured for a grow, a
+  shrink, and a grow over the lossy simulated network wire.
+
+* **Failover convergence** — under every shard-chaos profile, queries
+  fired in the middle of the outage degrade (never raise, never answer
+  better than healthy), and the chaos demonstrably fired (timeouts
+  observed, reports parked).  Recoverable profiles (crash-restart,
+  slow-shard) must replay their parked queues and reconverge to the
+  no-chaos answers; the permanent crash must stay degraded while
+  keeping its undeliverable reports parked rather than losing them.
+
+* **Autoscale-under-chaos** — a Fig. 14 load shape with a mid-run
+  shard outage: the parked-queue depth must trigger the queue-depth
+  autoscaler, the resulting live reshard must complete, and the run
+  must still converge to the no-chaos baseline's answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from sharded_bench import WORKLOAD_BUILDERS
+
+from repro.elastic.chaos import SHARD_CHAOS_PROFILES
+from repro.net.chaos import CHAOS_PROFILES
+from repro.net.transport import CHAOS_WIRE, NetworkDescriptor
+from repro.sim.elastic import (
+    run_elastic_load_test,
+    run_failover_experiment,
+    run_reshard_experiment,
+)
+from repro.sim.loadtest import FIG14_LOAD_TESTS
+from repro.workloads.specs import Workload
+
+DEFAULT_TRACES = 300
+DEFAULT_WARMUP_TRACES = 50
+DEFAULT_PROFILES = tuple(sorted(SHARD_CHAOS_PROFILES))
+
+# (label, from_shards, to_shards, wire): the standard reshard cells —
+# a grow, a shrink, and a grow over the lossy batched wire.
+RESHARD_CELLS: tuple[tuple[str, int, int, NetworkDescriptor | None], ...] = (
+    ("grow-2to4", 2, 4, None),
+    ("shrink-4to2", 4, 2, None),
+    ("grow-2to4-drop-wire", 2, 4, CHAOS_WIRE.with_chaos(CHAOS_PROFILES["drop"], seed=5)),
+)
+
+# The network wire commits reports up to a batch age after enqueue, so
+# outage windows for wire cells stretch over the delivery tail (ingest
+# windows would end before the delayed commits ever hit them).
+_WIRE_OUTAGE_FRACS = (0.3, 1.5)
+
+
+@dataclass
+class ReshardCell:
+    """One live-reshard run checked against the fresh deployment."""
+
+    workload: str
+    label: str
+    from_shards: int
+    to_shards: int
+    identical: bool
+    violations: list[str] = field(default_factory=list)
+    hosts_moved: int = 0
+    migration_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "label": self.label,
+            "from_shards": self.from_shards,
+            "to_shards": self.to_shards,
+            "identical": self.identical,
+            "violations": list(self.violations),
+            "hosts_moved": self.hosts_moved,
+            "migration_bytes": self.migration_bytes,
+        }
+
+
+def measure_reshard(
+    workload_name: str,
+    num_traces: int = DEFAULT_TRACES,
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+    seed: int = 17,
+    cells: tuple[tuple[str, int, int, NetworkDescriptor | None], ...] = RESHARD_CELLS,
+) -> list[ReshardCell]:
+    """Gate (a): live resharding is bit-identical to a fresh deployment."""
+    workload: Workload = WORKLOAD_BUILDERS[workload_name]()
+    results: list[ReshardCell] = []
+    for label, from_shards, to_shards, network in cells:
+        outcome = run_reshard_experiment(
+            workload,
+            from_shards=from_shards,
+            to_shards=to_shards,
+            num_traces=num_traces,
+            seed=seed,
+            auto_warmup_traces=warmup_traces,
+            network=network,
+        )
+        results.append(
+            ReshardCell(
+                workload=workload_name,
+                label=label,
+                from_shards=from_shards,
+                to_shards=to_shards,
+                identical=outcome.identical,
+                violations=outcome.violations,
+                hosts_moved=int(outcome.migration.get("hosts_moved", 0)),
+                migration_bytes=outcome.migration_bytes,
+            )
+        )
+    return results
+
+
+@dataclass
+class FailoverCell:
+    """One shard-chaos profile's behaviour during and after the outage."""
+
+    workload: str
+    profile: str
+    recoverable: bool
+    converged: bool
+    chaos_fired: bool
+    violations: list[str] = field(default_factory=list)
+    probed_mid_outage: bool = False
+    degraded_mid_outage: bool = False
+    permanently_degraded: bool = False
+    supervisor: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "profile": self.profile,
+            "recoverable": self.recoverable,
+            "converged": self.converged,
+            "chaos_fired": self.chaos_fired,
+            "violations": list(self.violations),
+            "probed_mid_outage": self.probed_mid_outage,
+            "degraded_mid_outage": self.degraded_mid_outage,
+            "permanently_degraded": self.permanently_degraded,
+            "supervisor": dict(self.supervisor),
+        }
+
+
+def _chaos_evidence(cell: FailoverCell) -> list[str]:
+    """Why a green-looking failover cell cannot be trusted (if at all).
+
+    Mirrors the net bench's evidence check: a disabled fault injector
+    must fail the gate, not greenwash it."""
+    missing: list[str] = []
+    stats = cell.supervisor
+    if not stats or stats.get("parked", 0) == 0:
+        missing.append("no report was ever parked")
+    if "crash" in cell.profile and stats.get("timeouts", 0) == 0:
+        missing.append("no delivery ever timed out against the dead shard")
+    if "crash" in cell.profile and not cell.probed_mid_outage:
+        missing.append("the mid-outage query probe never ran")
+    if cell.recoverable and stats.get("replayed", 0) == 0:
+        missing.append("nothing was replayed after recovery")
+    if not cell.recoverable and not cell.permanently_degraded:
+        missing.append("a permanent crash left answers unchanged")
+    return missing
+
+
+def measure_failover(
+    workload_name: str,
+    num_traces: int = DEFAULT_TRACES,
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+    seed: int = 17,
+    profiles: tuple[str, ...] = DEFAULT_PROFILES,
+    network: NetworkDescriptor | None = None,
+) -> list[FailoverCell]:
+    """Gate (b): every chaos profile degrades gracefully and converges."""
+    workload: Workload = WORKLOAD_BUILDERS[workload_name]()
+    fracs = _WIRE_OUTAGE_FRACS if network is not None else (0.2, 0.5)
+    results: list[FailoverCell] = []
+    for profile_name in profiles:
+        profile = SHARD_CHAOS_PROFILES[profile_name]
+        recoverable = all(not o.is_permanent for o in profile.outages)
+        outcome = run_failover_experiment(
+            workload,
+            profile=profile,
+            num_shards=2,
+            num_traces=num_traces,
+            seed=seed,
+            auto_warmup_traces=warmup_traces,
+            network=network,
+            outage_start_frac=fracs[0],
+            outage_end_frac=fracs[1],
+        )
+        cell = FailoverCell(
+            workload=workload_name,
+            profile=profile_name,
+            recoverable=recoverable,
+            converged=outcome.converged,
+            chaos_fired=True,
+            violations=outcome.violations,
+            probed_mid_outage=outcome.probed_mid_outage,
+            degraded_mid_outage=outcome.degraded_mid_outage,
+            permanently_degraded=outcome.permanently_degraded,
+            supervisor=outcome.supervisor,
+        )
+        evidence = _chaos_evidence(cell)
+        if evidence:
+            cell.chaos_fired = False
+            cell.violations = cell.violations + [
+                f"chaos evidence missing: {reason}" for reason in evidence
+            ]
+        results.append(cell)
+    return results
+
+
+@dataclass
+class AutoscaleCell:
+    """One Fig. 14 load shape with chaos and the autoscaler attached."""
+
+    workload: str
+    test: str
+    profile: str
+    converged: bool
+    scaled: bool
+    violations: list[str] = field(default_factory=list)
+    start_shards: int = 0
+    final_shards: int = 0
+    peak_depth: int = 0
+    scale_events: list[dict] = field(default_factory=list)
+    supervisor: dict = field(default_factory=dict)
+    migration_bytes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "test": self.test,
+            "profile": self.profile,
+            "converged": self.converged,
+            "scaled": self.scaled,
+            "violations": list(self.violations),
+            "start_shards": self.start_shards,
+            "final_shards": self.final_shards,
+            "peak_depth": self.peak_depth,
+            "scale_events": list(self.scale_events),
+            "supervisor": dict(self.supervisor),
+            "migration_bytes": self.migration_bytes,
+        }
+
+
+def measure_autoscale(
+    workload_name: str,
+    scale: float = 0.05,
+    seed: int = 21,
+    network: NetworkDescriptor | None = None,
+) -> AutoscaleCell:
+    """Gate (c): queue-depth pressure triggers a converging reshard."""
+    workload: Workload = WORKLOAD_BUILDERS[workload_name]()
+    spec = FIG14_LOAD_TESTS[4]  # T5: the 1000-qps shape
+    fracs = _WIRE_OUTAGE_FRACS if network is not None else (0.2, 0.5)
+    outcome = run_elastic_load_test(
+        spec,
+        workload,
+        profile="crash_restart",
+        start_shards=2,
+        scale=scale,
+        seed=seed,
+        network=network,
+        outage_start_frac=fracs[0],
+        outage_end_frac=fracs[1],
+    )
+    return AutoscaleCell(
+        workload=workload_name,
+        test=spec.name,
+        profile=outcome.profile,
+        converged=outcome.converged,
+        scaled=bool(outcome.scale_events),
+        violations=outcome.violations,
+        start_shards=outcome.start_shards,
+        final_shards=outcome.final_shards,
+        peak_depth=outcome.peak_depth,
+        scale_events=outcome.scale_events,
+        supervisor=outcome.supervisor,
+        migration_bytes=outcome.migration_bytes,
+    )

@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Elastic deployment benchmark entry point.
+
+Drives the deterministic workload streams through the elastic plane and
+writes a machine-readable ``BENCH_elastic.json`` next to this file —
+the same shape discipline as ``BENCH_net.json`` — enforcing the plane's
+three correctness gates:
+
+* **(a) reshard identity** — a live ``from_n -> to_n`` migration (grow,
+  shrink, and grow over the lossy simulated wire) ends bit-identical to
+  a fresh deployment born at the destination shard count: byte tables,
+  full query signatures, stored-trace sets and host placement, with
+  every migrated byte confined to the separate ``migration`` meter;
+* **(b) failover convergence** — every shard-chaos profile demonstrably
+  fires (timeouts, parked reports, a mid-outage query probe), queries
+  degrade instead of raising, recoverable profiles replay and match the
+  no-chaos answers, and a permanent crash stays degraded with its
+  undeliverable reports still parked;
+* **(c) autoscale under chaos** — a Fig. 14 load shape with a mid-run
+  outage must push the parked-queue depth over the autoscaler's
+  threshold, trigger a live reshard, and still converge to the
+  no-chaos baseline's answers.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_elastic_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_elastic_bench.py --check   # all three gates
+    PYTHONPATH=src python benchmarks/perf/run_elastic_bench.py --check --traces 150 \
+        --warmup-traces 50 --workloads onlineboutique --autoscale-scale 0.05  # CI smoke
+
+``--check`` exits non-zero when any gate fails — including when a cell
+looks green but the chaos evidence (parked reports, timeouts, the
+mid-outage probe) shows the fault injector never actually fired.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from elastic_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_PROFILES,
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    measure_autoscale,
+    measure_failover,
+    measure_reshard,
+)
+from sharded_bench import WORKLOAD_BUILDERS  # noqa: E402  (path bootstrap above)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_elastic.json"
+)
+
+
+def run(
+    num_traces: int,
+    warmup_traces: int,
+    workloads: list[str],
+    profiles: tuple[str, ...],
+    autoscale_scale: float,
+    seed: int,
+) -> dict:
+    """Measure every reshard, failover and autoscale cell; assemble the report."""
+    report: dict = {
+        "benchmark": "elastic",
+        "units": {
+            "migration_bytes": "reshard traffic charged on the separate "
+            "migration meter only (never the network meter or shard ledgers)",
+            "peak_depth": "maximum per-shard pending-report depth the "
+            "autoscaler observed (send queues + supervisor parked queues)",
+        },
+        "config": {
+            "traces": num_traces,
+            "warmup_traces": warmup_traces,
+            "profiles": list(profiles),
+            "autoscale_scale": autoscale_scale,
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "reshard": {},
+        "failover": {},
+        "autoscale": {},
+        "gates": {},
+    }
+    for name in workloads:
+        reshard = measure_reshard(
+            name, num_traces=num_traces, warmup_traces=warmup_traces, seed=seed
+        )
+        report["reshard"][name] = {cell.label: cell.as_dict() for cell in reshard}
+        line = f"{name:16s} reshard:"
+        for cell in reshard:
+            verdict = "ok" if cell.identical else "FAIL"
+            line += f"  {cell.label}={verdict} ({cell.migration_bytes}B moved)"
+        print(line)
+
+        failover = measure_failover(
+            name,
+            num_traces=num_traces,
+            warmup_traces=warmup_traces,
+            seed=seed,
+            profiles=profiles,
+        )
+        report["failover"][name] = {cell.profile: cell.as_dict() for cell in failover}
+        line = f"{name:16s} failover:"
+        for cell in failover:
+            verdict = "ok" if cell.converged and cell.chaos_fired else "FAIL"
+            line += (
+                f"  {cell.profile}={verdict} "
+                f"(parked {cell.supervisor.get('parked', 0)})"
+            )
+        print(line)
+
+        autoscale = measure_autoscale(name, scale=autoscale_scale, seed=seed + 4)
+        report["autoscale"][name] = autoscale.as_dict()
+        verdict = "ok" if autoscale.converged and autoscale.scaled else "FAIL"
+        print(
+            f"{name:16s} autoscale:  {autoscale.test}={verdict} "
+            f"({autoscale.start_shards}->{autoscale.final_shards} shards, "
+            f"peak depth {autoscale.peak_depth})"
+        )
+
+    report["gates"]["reshard_identity"] = all(
+        cell["identical"]
+        for by_label in report["reshard"].values()
+        for cell in by_label.values()
+    )
+    report["gates"]["failover_convergence"] = all(
+        cell["converged"] and cell["chaos_fired"]
+        for by_profile in report["failover"].values()
+        for cell in by_profile.values()
+    )
+    report["gates"]["autoscale_fired"] = all(
+        cell["converged"] and cell["scaled"]
+        for cell in report["autoscale"].values()
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--warmup-traces", type=int, default=DEFAULT_WARMUP_TRACES)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(WORKLOAD_BUILDERS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        default=list(DEFAULT_PROFILES),
+        choices=list(DEFAULT_PROFILES),
+    )
+    parser.add_argument(
+        "--autoscale-scale",
+        type=float,
+        default=0.05,
+        help="fraction of the Fig. 14 load shape's full trace volume to drive",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 when reshard identity, failover convergence or "
+        "the autoscale trigger fails (or chaos evidence shows the fault "
+        "injector never fired)",
+    )
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        tuple(args.profiles),
+        args.autoscale_scale,
+        args.seed,
+    )
+
+    failures: list[str] = []
+    if args.check:
+        for name, by_label in report["reshard"].items():
+            for label, cell in by_label.items():
+                if not cell["identical"]:
+                    failures.append(f"{name} reshard-{label}: {'; '.join(cell['violations'])}")
+        for name, by_profile in report["failover"].items():
+            for profile, cell in by_profile.items():
+                if not (cell["converged"] and cell["chaos_fired"]):
+                    failures.append(
+                        f"{name} failover-{profile}: {'; '.join(cell['violations'])}"
+                    )
+        for name, cell in report["autoscale"].items():
+            if not (cell["converged"] and cell["scaled"]):
+                failures.append(f"{name} autoscale: {'; '.join(cell['violations'])}")
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

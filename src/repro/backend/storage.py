@@ -110,6 +110,49 @@ class StorageEngine:
             self._params_bytes += encoded_size(record)
         self.sampled_trace_ids.add(report.trace_id)
 
+    def evict_host(self, host: str) -> tuple[list[StoredBloom], dict[str, list[list[Any]]]]:
+        """Remove and return everything this engine stores for ``host``.
+
+        The reshard snapshot: the host's Bloom filters and parameter
+        records leave this engine in one step, and the byte counters
+        are decremented by exactly the wire sizes the reports were
+        charged at store time — so re-storing the returned state on
+        another engine conserves the merged byte tables bit for bit.
+        Parameter buckets of multi-host traces keep the other hosts'
+        records; a bucket emptied by the eviction also releases its
+        sampled-id mark (the destination's store re-adds it).
+        Patterns stay: they are content-addressed and resolve through
+        the merged fan-out from any shard.
+        """
+        moved_blooms = [b for b in self.blooms if b.node == host]
+        if moved_blooms:
+            self.blooms = [b for b in self.blooms if b.node != host]
+            for stored in moved_blooms:
+                header = encoded_size(
+                    {
+                        "node": stored.node,
+                        "topo_pattern_id": stored.topo_pattern_id,
+                        "inserted": stored.filter.inserted,
+                    }
+                )
+                self._bloom_bytes -= header + len(stored.filter.to_bytes())
+        moved_params: dict[str, list[list[Any]]] = {}
+        for trace_id in list(self.params):
+            bucket = self.params[trace_id]
+            moving = [record for record in bucket if record[2] == host]
+            if not moving:
+                continue
+            moved_params[trace_id] = moving
+            for record in moving:
+                self._params_bytes -= encoded_size(record)
+            remaining = [record for record in bucket if record[2] != host]
+            if remaining:
+                self.params[trace_id] = remaining
+            else:
+                del self.params[trace_id]
+                self.sampled_trace_ids.discard(trace_id)
+        return moved_blooms, moved_params
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -116,6 +116,13 @@ class BloomFilter:
         return True
 
     @property
+    def inserted(self) -> int:
+        """Insertions recorded so far (carried across serialisation —
+        a re-reported filter must advertise the same count, or the
+        reshard snapshot would reset ``is_full`` on the destination)."""
+        return self._inserted
+
+    @property
     def is_full(self) -> bool:
         """True once the filter has absorbed its sized-for capacity.
 

@@ -1,0 +1,220 @@
+"""The elastic sharded backend: mutable routing over stable engines.
+
+:class:`ElasticShardedBackend` keeps the whole sharded merge layer and
+changes exactly two things about its parent:
+
+* **routing is mutable** — ``num_shards`` is the *routing modulus* and
+  may change at a reshard cutover, and per-host overrides let the
+  :class:`~repro.elastic.reshard.ReshardCoordinator` move hosts one at
+  a time while ingest continues;
+* **commits are supervised** — when a :class:`ShardChaosProfile` is
+  attached, every store runs through the
+  :class:`~repro.elastic.supervisor.ShardSupervisor`, and reads go
+  through a :class:`ShardRoster` that skips crashed shards, so queries
+  during an outage degrade to ``partial``/``miss`` instead of raising.
+
+The engine list itself only ever *grows* (``ensure_engines``) and
+engines are never dropped or reordered: shard index ``i`` means the
+same box for the whole run, which keeps the transport's per-shard
+ledgers and storage-sync bookkeeping valid across resharding, and
+keeps a retired shard's pattern library resolvable through the merged
+fan-out — content-addressed patterns never need migrating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.backend.sharded import (
+    MergedStorageView,
+    ShardedBackend,
+    ShardedQuerier,
+    ShardSummary,
+    shard_for_key,
+)
+from repro.backend.storage import StorageEngine
+from repro.elastic.chaos import ShardChaosProfile
+from repro.elastic.supervisor import ShardSupervisor
+from repro.transport.wire import NotifyMeter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.agent.collector import MintCollector
+    from repro.agent.reports import Report
+
+
+class ShardRoster:
+    """The merged view's window onto the engines: live shards only.
+
+    List-shaped so :class:`MergedStorageView` and its helpers work
+    unchanged: *iteration* yields only the engines of shards that are
+    currently reachable (fan-out reads skip a crashed box, degrading
+    the answer instead of raising), while *indexing* stays absolute —
+    shard ``i`` is engine ``i`` whether or not shard ``i - 1`` is down.
+    Backed by the backend's own engine list, so engines appended by a
+    reshard appear in every fan-out automatically.
+    """
+
+    def __init__(self, engines: list[StorageEngine], backend: "ElasticShardedBackend"):
+        self._engines = engines
+        self._backend = backend
+
+    def __iter__(self) -> Iterator[StorageEngine]:
+        down = self._backend.down_shards()
+        for index, engine in enumerate(self._engines):
+            if index not in down:
+                yield engine
+
+    def __getitem__(self, index: int) -> StorageEngine:
+        return self._engines[index]
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+
+class ElasticShardedBackend(ShardedBackend):
+    """A sharded backend whose shard map can change while it runs."""
+
+    def __init__(
+        self,
+        num_shards: int = 1,
+        bloom_buffer_bytes: int = 4096,
+        bloom_fpp: float = 0.01,
+        notify_meter: NotifyMeter | None = None,
+        target_shards: int | None = None,
+        shard_chaos: ShardChaosProfile | None = None,
+    ) -> None:
+        super().__init__(
+            num_shards=num_shards,
+            bloom_buffer_bytes=bloom_buffer_bytes,
+            bloom_fpp=bloom_fpp,
+            notify_meter=notify_meter,
+        )
+        self._bloom_buffer_bytes = bloom_buffer_bytes
+        self._bloom_fpp = bloom_fpp
+        self.target_shards = target_shards
+        self._route_overrides: dict[str, int] = {}
+        self.supervisor: ShardSupervisor | None = None
+        if shard_chaos is not None and not shard_chaos.is_benign:
+            self.supervisor = ShardSupervisor(
+                profile=shard_chaos,
+                commit=self._commit_direct,
+                owner_of=self.shard_for,
+            )
+        if target_shards is not None:
+            self.ensure_engines(target_shards)
+        # Swap the merge layer onto the roster so fan-out reads skip
+        # crashed shards; built before any report arrives, so no merge
+        # state is lost by the rebuild.
+        self.roster = ShardRoster(self.shards, self)
+        self.merged = MergedStorageView(self.roster)  # type: ignore[arg-type]
+        self.querier = ShardedQuerier(self.merged)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def ensure_engines(self, count: int) -> None:
+        """Grow the engine list to at least ``count`` boxes.
+
+        Appending (never replacing) keeps every existing shard index
+        stable; the new engines are empty and start receiving traffic
+        only once routing points hosts at them.
+        """
+        while len(self.shards) < count:
+            self.shards.append(
+                StorageEngine(
+                    bloom_buffer_bytes=self._bloom_buffer_bytes,
+                    bloom_fpp=self._bloom_fpp,
+                )
+            )
+
+    def shard_for(self, node: str) -> int:
+        """Current owner of ``node``: a migration override, else hash."""
+        override = self._route_overrides.get(node)
+        if override is not None:
+            return override
+        return shard_for_key(node, self.num_shards)
+
+    def pin_route(self, node: str, shard: int) -> None:
+        """Route ``node`` to ``shard`` regardless of the hash map.
+
+        The reshard cutover: the coordinator pins a moving host to its
+        destination *before* snapshotting the source engine, so every
+        report not in the snapshot is delivered to the destination —
+        the two sets are disjoint and nothing is lost or doubled.
+        """
+        if not 0 <= shard < len(self.shards):
+            raise ValueError(f"cannot pin {node!r} to unknown shard {shard}")
+        self._route_overrides[node] = shard
+
+    def set_routing_shards(self, num_shards: int) -> None:
+        """Flip the hash modulus and drop now-redundant overrides."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.ensure_engines(num_shards)
+        self.num_shards = num_shards
+        self._route_overrides = {
+            node: shard
+            for node, shard in self._route_overrides.items()
+            if shard_for_key(node, num_shards) != shard
+        }
+
+    def down_shards(self) -> set[int]:
+        """Shards currently unreachable (empty without chaos)."""
+        if self.supervisor is None:
+            return set()
+        return self.supervisor.down_shards()
+
+    # ------------------------------------------------------------------
+    # The supervised commit path
+    # ------------------------------------------------------------------
+    def _commit(self, report: "Report") -> None:
+        if self.supervisor is not None and self.supervisor.intercept(report):
+            return
+        super()._commit(report)
+
+    def _commit_direct(self, report: "Report") -> None:
+        """The supervisor's replay path: store without re-interception.
+
+        Routes through :meth:`_engine_for` at *replay* time, so a host
+        that migrated while its report was parked commits to its
+        current owner."""
+        ShardedBackend._commit(self, report)
+
+    def settle(self) -> None:
+        """Replay every recoverable parked report (end-of-run)."""
+        if self.supervisor is not None:
+            self.supervisor.settle()
+
+    # ------------------------------------------------------------------
+    # Accounting (shard count may exceed the routing modulus)
+    # ------------------------------------------------------------------
+    def collectors_on_shard(self, shard: int) -> list["MintCollector"]:
+        """The collectors whose hosts the shard owns *right now*.
+
+        Recomputed live instead of from registration-time owners — the
+        whole point of this backend is that ownership moves."""
+        return [
+            collector
+            for collector in self._collectors
+            if self.shard_for(collector.node) == shard
+        ]
+
+    def shard_summaries(self) -> list[ShardSummary]:
+        """Per-shard tables over every engine, with live host owners."""
+        hosts_by_shard: dict[int, list[str]] = {
+            i: [] for i in range(len(self.shards))
+        }
+        for collector in self._collectors:
+            hosts_by_shard[self.shard_for(collector.node)].append(collector.node)
+        return [
+            ShardSummary(
+                shard=i,
+                hosts=sorted(hosts_by_shard[i]),
+                pattern_bytes=shard.pattern_bytes,
+                bloom_bytes=shard.bloom_bytes,
+                params_bytes=shard.params_bytes,
+                storage_bytes=shard.storage_bytes(),
+                sampled_traces=len(shard.sampled_trace_ids),
+            )
+            for i, shard in enumerate(self.shards)
+        ]

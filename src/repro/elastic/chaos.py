@@ -1,0 +1,174 @@
+"""Shard-level fault injection: chaos beyond the wire.
+
+:mod:`repro.net.chaos` perturbs the *links* between collectors and the
+backend; this module perturbs the *backend boxes themselves*.  A
+:class:`ShardChaosProfile` is an immutable schedule of per-shard
+outages — a crash (permanent), a crash-restart window, or a slow-shard
+window that delays commits without losing them — evaluated purely from
+simulated time, so a profile is deterministic by construction (no RNG:
+which box dies, and when, is the experiment's controlled variable).
+
+The supervisor in :mod:`repro.elastic.supervisor` consumes these
+profiles: deliveries to a crashed shard park in a bounded redelivery
+queue and replay on restart, reads skip the dead shard (queries degrade
+to ``partial`` instead of raising), and a slow shard's commits are
+simply late.  ``fit_outages`` plays the role ``fit_partitions`` plays
+for the wire: it maps a profile's absolute outage times into a concrete
+stream's lifetime so reduced CI workloads still cross the failure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+OUTAGE_MODES = ("crash", "slow")
+
+
+@dataclass(frozen=True)
+class ShardOutage:
+    """One shard's failure window.
+
+    ``mode == "crash"`` makes the shard unreachable during
+    ``[start_s, end_s)`` — the default ``end_s`` of infinity is the
+    permanent crash.  ``mode == "slow"`` keeps the shard readable but
+    delays every commit landing inside the window by ``slowdown_s``.
+    """
+
+    shard: int
+    start_s: float
+    end_s: float = math.inf
+    mode: str = "crash"
+    slowdown_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError("outage shard index must be >= 0")
+        if self.end_s <= self.start_s:
+            raise ValueError("outage window must end after it starts")
+        if self.mode not in OUTAGE_MODES:
+            raise ValueError(f"outage mode must be one of {OUTAGE_MODES}")
+        if self.slowdown_s < 0:
+            raise ValueError("slowdown_s must be >= 0")
+        if self.mode == "slow" and self.slowdown_s == 0:
+            raise ValueError("a slow-shard outage needs slowdown_s > 0")
+        if self.mode == "slow" and math.isinf(self.end_s):
+            raise ValueError("a slow-shard outage must end (use a crash for permanence)")
+
+    def covers(self, now: float) -> bool:
+        """True when the outage is active at ``now``."""
+        return self.start_s <= now < self.end_s
+
+    @property
+    def is_permanent(self) -> bool:
+        """True for a crash the schedule never recovers from."""
+        return math.isinf(self.end_s)
+
+
+@dataclass(frozen=True)
+class ShardChaosProfile:
+    """A named schedule of shard outages (the backend's adversary)."""
+
+    name: str
+    outages: tuple[ShardOutage, ...] = ()
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the profile schedules no outage at all."""
+        return not self.outages
+
+    def down(self, shard: int, now: float) -> bool:
+        """True when ``shard`` is crashed (unreachable) at ``now``."""
+        return any(
+            o.shard == shard and o.mode == "crash" and o.covers(now)
+            for o in self.outages
+        )
+
+    def slowdown(self, shard: int, now: float) -> float:
+        """Commit delay for ``shard`` at ``now`` (0 when healthy)."""
+        return max(
+            (
+                o.slowdown_s
+                for o in self.outages
+                if o.shard == shard and o.mode == "slow" and o.covers(now)
+            ),
+            default=0.0,
+        )
+
+    def down_shards(self, now: float) -> set[int]:
+        """Every shard crashed at ``now`` (what reads must skip)."""
+        return {
+            o.shard
+            for o in self.outages
+            if o.mode == "crash" and o.covers(now)
+        }
+
+    def final_recovery_s(self) -> float:
+        """When the last *recoverable* outage ends (0 with none).
+
+        Permanent crashes are excluded: they have no recovery time, and
+        the settle pass that replays parked queues must not wait on
+        them.
+        """
+        return max(
+            (o.end_s for o in self.outages if not o.is_permanent), default=0.0
+        )
+
+
+def fit_outages(
+    profile: ShardChaosProfile,
+    duration_s: float,
+    start_frac: float = 0.2,
+    end_frac: float = 0.5,
+) -> ShardChaosProfile:
+    """Rescale a profile's outage times into a stream's lifetime.
+
+    Mirrors :func:`repro.net.chaos.fit_partitions`: outage times are
+    absolute simulated seconds, so a window placed for a ten-minute run
+    never fires on a five-second CI stream.  Every finite time is
+    mapped proportionally from the profile's own span into
+    ``[start_frac, end_frac] * duration_s`` (relative timing between
+    outages is preserved); a permanent crash keeps its infinite end —
+    only its onset moves.
+    """
+    if profile.is_benign or duration_s <= 0:
+        return profile
+    span = max(
+        max((o.end_s for o in profile.outages if not o.is_permanent), default=0.0),
+        max(o.start_s for o in profile.outages),
+    )
+    if span <= 0:
+        return profile
+    lo = start_frac * duration_s
+    hi = max(end_frac * duration_s, lo + 1e-6)
+
+    def rescale(t: float) -> float:
+        if math.isinf(t):
+            return t
+        return lo + (t / span) * (hi - lo)
+
+    return replace(
+        profile,
+        outages=tuple(
+            replace(o, start_s=rescale(o.start_s), end_s=rescale(o.end_s))
+            for o in profile.outages
+        ),
+    )
+
+
+# The standard shard-chaos suite.  Shard 1 is the victim so every
+# profile works from two shards up; times are absolute and meant to be
+# passed through ``fit_outages`` with the stream's duration, exactly as
+# the wire profiles go through ``fit_partitions``.
+SHARD_CHAOS_PROFILES: dict[str, ShardChaosProfile] = {
+    "crash": ShardChaosProfile(
+        "crash", (ShardOutage(shard=1, start_s=5.0),)
+    ),
+    "crash_restart": ShardChaosProfile(
+        "crash_restart", (ShardOutage(shard=1, start_s=5.0, end_s=20.0),)
+    ),
+    "slow_shard": ShardChaosProfile(
+        "slow_shard",
+        (ShardOutage(shard=1, start_s=5.0, end_s=20.0, mode="slow", slowdown_s=2.0),),
+    ),
+}

@@ -95,7 +95,21 @@ class MintFramework(TracingFramework):
             clock=lambda: self._now,
             shard_ledgers=self.shard_ledgers,
         )
-        if self.deployment.is_sharded:
+        if self.deployment.is_elastic:
+            if self.deployment.reshard_to is not None:
+                self.name = (
+                    f"Mint-Elastic({self.deployment.num_shards}->"
+                    f"{self.deployment.reshard_to})"
+                )
+            else:
+                self.name = f"Mint-Elastic({self.deployment.num_shards})"
+            # The failover supervisor stamps outage detection and
+            # backoff probes in wire time, so parked reports replay at
+            # honest simulated instants on any transport.
+            supervisor = getattr(self.backend, "supervisor", None)
+            if supervisor is not None:
+                supervisor.bind_clock(self.transport.wire_now)
+        elif self.deployment.is_sharded:
             self.name = f"Mint-Sharded({self.deployment.num_shards})"
 
     # ------------------------------------------------------------------
@@ -161,6 +175,12 @@ class MintFramework(TracingFramework):
         for collector in self._collectors.values():
             collector.flush(now)
         self.transport.drain()
+        # Elastic backends replay their parked redelivery queues here —
+        # after the wire quiesced (so replays are not interleaved with
+        # in-flight traffic) and before the final storage sync (so the
+        # recovered bytes are metered).  A backend without a failover
+        # supervisor settles as a no-op.
+        self.backend.settle()
         self.transport.sync_storage()
 
     # ------------------------------------------------------------------
@@ -231,9 +251,50 @@ class MintFramework(TracingFramework):
         meter = self.transport.retransmit
         return meter.total_bytes if meter is not None else 0
 
+    @property
+    def migration_bytes(self) -> int:
+        """Reshard traffic, confined to the wire's migration meter.
+
+        Moving a host's stored state between shards is real network
+        work, but it must never perturb the fig02/fig11 byte tables —
+        the same separation discipline as :attr:`retransmit_bytes`.
+        Always 0 until a reshard runs.
+        """
+        return self.transport.migration.total_bytes
+
     def net_stats(self) -> dict | None:
         """The network plane's delivery metrics, when one is deployed."""
         return self.transport.stats_summary()
+
+    # ------------------------------------------------------------------
+    # Elastic operations (elastic deployments only)
+    # ------------------------------------------------------------------
+    def reshard(self, to_shards: int | None = None):
+        """Run one live reshard to ``to_shards`` (default: the
+        deployment descriptor's ``reshard_to`` target) and return its
+        :class:`~repro.elastic.reshard.MigrationStats`.
+
+        The uninterleaved convenience: harnesses that migrate host by
+        host between ingest batches drive a
+        :class:`~repro.elastic.reshard.ReshardCoordinator` directly.
+        """
+        from repro.elastic.reshard import ReshardCoordinator
+
+        target = to_shards if to_shards is not None else self.deployment.reshard_to
+        if target is None:
+            raise ValueError(
+                "no reshard target: pass to_shards or build the framework "
+                "from Deployment.resharded(from_n, to_n)"
+            )
+        coordinator = ReshardCoordinator(self.backend, self.transport, target)
+        return coordinator.run()
+
+    def elastic_stats(self) -> dict | None:
+        """Failover-supervisor counters, when the deployment has one."""
+        supervisor = getattr(self.backend, "supervisor", None)
+        if supervisor is None:
+            return None
+        return supervisor.stats.as_dict()
 
     # ------------------------------------------------------------------
     # Per-shard panels (empty for the single deployment)

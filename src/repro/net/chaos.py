@@ -132,9 +132,30 @@ def fit_partitions(
     keep their relative timing and disjoint outages stay disjoint (node
     restrictions are preserved); profiles without partitions pass
     through unchanged.
+
+    A window that *starts inside* the stream's lifetime but extends
+    past it is a different case: proportional rescaling would drag its
+    start toward zero on the window's (irrelevantly large) end time.
+    Such windows are clamped to end at ``duration_s`` instead — the
+    outage the stream actually experiences — and windows already inside
+    the lifetime are kept verbatim alongside them.
     """
     if not profile.partitions or duration_s <= 0:
         return profile
+    if any(
+        window.start_s < duration_s <= window.end_s
+        for window in profile.partitions
+    ):
+        return replace(
+            profile,
+            partitions=tuple(
+                PartitionWindow(
+                    window.start_s, min(window.end_s, duration_s), window.nodes
+                )
+                for window in profile.partitions
+                if window.start_s < duration_s
+            ),
+        )
     span = max(window.end_s for window in profile.partitions)
     lo = start_frac * duration_s
     hi = max(end_frac * duration_s, lo + 1e-6)

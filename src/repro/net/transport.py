@@ -154,6 +154,12 @@ class NetworkDescriptor:
         return "net[" + ",".join(parts or ["lossless"]) + "]"
 
 
+# Reshard traffic rides per-host *migration links*, separate from the
+# host's ingest link: migration batches queue, batch, drop and retry
+# under the same wire model, but their backlog never delays live
+# reports and never shows up in the autoscaler's queue-depth signal.
+MIGRATION_LINK_PREFIX = "migrate::"
+
 # The standard harness wire for chaos sweeps — batching and a little
 # latency so the wire's mechanics are on the measured path, and a retry
 # timer short enough for CI-sized streams.  The net bench, the sim
@@ -263,7 +269,49 @@ class NetTransport(LocalTransport):
         self._advance()
         size = report.size_bytes()
         self._charge_report(report.node, size, self._sim.now)
-        link = report.node
+        self._enqueue(report.node, report, size)
+
+    def deliver_migration(self, report: "Report") -> None:
+        """Queue one resharding report on the host's migration link.
+
+        Charged on the ``migration`` meter only — the byte tables must
+        be shard-map invariant — and carried over its own link so the
+        wire model (batching, chaos, retries) applies to migration
+        traffic without it ever queueing behind, or being mistaken for,
+        live ingest.
+        """
+        self._advance()
+        self.migration.record(report.size_bytes(), self._sim.now)
+        self._enqueue(MIGRATION_LINK_PREFIX + report.node, report, report.size_bytes())
+
+    def wire_now(self) -> float:
+        """The simulated-network clock — read-only, never pumps.
+
+        The failover supervisor reads this from *inside* a commit (mid
+        ``_deliver_batch`` loop).  Running the scheduler here would
+        deliver the next due batch re-entrantly, advancing the channel
+        watermark past the rest of the current batch's reports and
+        silently discarding them — a clock read must have no side
+        effects.
+        """
+        return max(self._ext_clock(), self._sim.now)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Reports waiting per ingest link (migration links excluded).
+
+        This is the autoscaler's pressure signal: the backlog a shard's
+        hosts have committed to the wire but the plane has not flushed.
+        Migration links are deliberately invisible here — resharding
+        pressure must not retrigger the autoscaler that caused it.
+        """
+        return {
+            link: len(queue)
+            for link, queue in self._queues.items()
+            if queue and not link.startswith(MIGRATION_LINK_PREFIX)
+        }
+
+    def _enqueue(self, link: str, report: "Report", size: int) -> None:
+        """Queue one charged report on ``link`` and apply flush triggers."""
         queue = self._queues.setdefault(link, [])
         queue.append((report, size))
         self._queue_bytes[link] = self._queue_bytes.get(link, 0) + size

@@ -26,6 +26,7 @@ from repro.transport.wire import NotifyMeter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.config import MintConfig
+    from repro.elastic.chaos import ShardChaosProfile
     from repro.net.transport import NetworkDescriptor
     from repro.sim.meters import OverheadLedger
     from repro.transport.plane import BackendPlane
@@ -48,14 +49,42 @@ class Deployment:
     :class:`~repro.net.transport.NetworkDescriptor` builds the
     simulated network plane (:class:`~repro.net.transport.NetTransport`)
     with that descriptor's latency/batching/chaos configuration.
+
+    Elastic topologies (``elastic=True``, via :meth:`resharded` or
+    :meth:`elastic_sharded`) build the
+    :class:`~repro.elastic.backend.ElasticShardedBackend` instead: a
+    mutable shard map that a
+    :class:`~repro.elastic.reshard.ReshardCoordinator` can rescale live
+    toward ``reshard_to`` shards, with optional shard-level chaos
+    (``shard_chaos``) handled by the failover supervisor.
     """
 
     num_shards: int = 0
     network: "NetworkDescriptor | None" = None
+    elastic: bool = False
+    reshard_to: "int | None" = None
+    shard_chaos: "ShardChaosProfile | None" = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 0:
             raise ValueError("num_shards must be >= 0")
+        if self.elastic and self.num_shards <= 0:
+            raise ValueError("an elastic deployment needs at least one shard")
+        if (self.reshard_to is not None or self.shard_chaos is not None) and (
+            not self.elastic
+        ):
+            raise ValueError(
+                "reshard targets and shard chaos need an elastic deployment "
+                "(Deployment.resharded / Deployment.elastic_sharded)"
+            )
+        if self.reshard_to is not None:
+            if self.reshard_to <= 0:
+                raise ValueError("resharding needs at least one destination shard")
+            if self.reshard_to == self.num_shards:
+                raise ValueError(
+                    "resharding must change the shard count "
+                    f"(from {self.num_shards} to {self.reshard_to} is a no-op)"
+                )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -74,6 +103,67 @@ class Deployment:
             raise ValueError("a sharded deployment needs at least one shard")
         return cls(num_shards=num_shards, network=network)
 
+    @classmethod
+    def resharded(
+        cls,
+        from_shards: int,
+        to_shards: int,
+        network: "NetworkDescriptor | None" = None,
+        shard_chaos: "ShardChaosProfile | None" = None,
+    ) -> "Deployment":
+        """An elastic deployment that starts at ``from_shards`` and is
+        meant to be rescaled live to ``to_shards``.
+
+        The descriptor only declares the transition; a
+        :class:`~repro.elastic.reshard.ReshardCoordinator` (or the
+        framework's ``reshard()`` convenience) performs it, host by
+        host, while ingest continues.
+        """
+        if from_shards <= 0:
+            raise ValueError(
+                "a resharded deployment needs at least one source shard "
+                f"(got from_shards={from_shards})"
+            )
+        if to_shards <= 0:
+            raise ValueError(
+                "resharding needs at least one destination shard "
+                f"(got to_shards={to_shards})"
+            )
+        if from_shards == to_shards:
+            raise ValueError(
+                "resharding must change the shard count "
+                f"(from {from_shards} to {to_shards} is a no-op)"
+            )
+        return cls(
+            num_shards=from_shards,
+            network=network,
+            elastic=True,
+            reshard_to=to_shards,
+            shard_chaos=shard_chaos,
+        )
+
+    @classmethod
+    def elastic_sharded(
+        cls,
+        num_shards: int,
+        network: "NetworkDescriptor | None" = None,
+        shard_chaos: "ShardChaosProfile | None" = None,
+    ) -> "Deployment":
+        """N shards on the elastic backend: reshardable, supervisable.
+
+        Without a reshard target or chaos profile this behaves exactly
+        like :meth:`sharded` — the elastic backend at a fixed shard
+        count is the degenerate case the equivalence gates pin.
+        """
+        if num_shards <= 0:
+            raise ValueError("an elastic deployment needs at least one shard")
+        return cls(
+            num_shards=num_shards,
+            network=network,
+            elastic=True,
+            shard_chaos=shard_chaos,
+        )
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -83,13 +173,29 @@ class Deployment:
         return self.num_shards > 0
 
     @property
+    def is_elastic(self) -> bool:
+        """True when the shard map can change while the deployment runs."""
+        return self.elastic
+
+    @property
     def ledger_count(self) -> int:
-        """How many per-shard ledgers the transport should charge."""
-        return self.num_shards
+        """How many per-shard ledgers the transport should charge.
+
+        An elastic deployment sizes for its reshard target up front so
+        per-shard panels cover the destination shards from time zero;
+        autoscaling beyond that grows the ledger list on demand.
+        """
+        return max(self.num_shards, self.reshard_to or 0)
 
     def describe(self) -> str:
         """Human-readable topology label."""
         topology = "single-backend" if not self.is_sharded else f"{self.num_shards}-shard"
+        if self.reshard_to is not None:
+            topology = f"{self.num_shards}->{self.reshard_to}-shard"
+        elif self.elastic:
+            topology = f"elastic-{self.num_shards}-shard"
+        if self.shard_chaos is not None and not self.shard_chaos.is_benign:
+            topology += f"+shardchaos={self.shard_chaos.name}"
         if self.network is None:
             return topology
         return f"{topology}+{self.network.describe()}"
@@ -115,6 +221,17 @@ class Deployment:
                 bloom_buffer_bytes=config.bloom_buffer_bytes,
                 bloom_fpp=config.bloom_fpp,
                 notify_meter=notify_meter,
+            )
+        if self.elastic:
+            from repro.elastic.backend import ElasticShardedBackend
+
+            return ElasticShardedBackend(
+                num_shards=self.num_shards,
+                bloom_buffer_bytes=config.bloom_buffer_bytes,
+                bloom_fpp=config.bloom_fpp,
+                notify_meter=notify_meter,
+                target_shards=self.reshard_to,
+                shard_chaos=self.shard_chaos,
             )
         return ShardedBackend(
             num_shards=self.num_shards,

@@ -121,6 +121,19 @@ class BackendPlane(abc.ABC):
             if last is not None and ordinal <= last:
                 return
             self._delivered_watermarks[channel] = ordinal
+        self._commit(report)
+
+    def _commit(self, report: Report) -> None:
+        """Store one deduplicated report on the engine owning its node.
+
+        Split from :meth:`receive` so layers *behind* the watermark can
+        re-drive storage without re-entering the dedup: the elastic
+        plane's shard supervisor parks reports for a crashed shard
+        after they passed the watermark, and replays them through this
+        method on restart — running them through ``receive`` again
+        would find their ids at or below the channel's high-water mark
+        and silently drop the replay.
+        """
         engine = self._engine_for(report.node)
         if isinstance(report, PatternLibraryReport):
             engine.store_pattern_report(report)
@@ -129,6 +142,15 @@ class BackendPlane(abc.ABC):
         else:
             engine.store_params_report(report)
         self._observe_stored(report, engine)
+
+    def settle(self) -> None:
+        """End-of-run hook after the transport drained.
+
+        The base planes hold nothing back once deliveries land, so this
+        is a no-op; the elastic plane overrides it to replay its shard
+        supervisor's parked redelivery queues (a restart at the end of
+        the schedule), so post-finalize queries see the converged
+        store."""
 
     def notify_sampled(self, trace_id: str, origin_node: str | None = None) -> None:
         """Propagate a sampling decision to every other collector.

@@ -47,14 +47,28 @@ class Transport(Protocol):
     # wire cannot produce any.
     retransmit: Meter | None
 
+    # Reshard traffic (state streamed between shards); charged here and
+    # never on the network meter, so byte tables stay shard-map
+    # invariant — the same separation discipline as ``retransmit``.
+    migration: Meter
+
     def deliver(self, report: "Report") -> None:
         """Ship one report to the backend, metering its wire size."""
+
+    def deliver_migration(self, report: "Report") -> None:
+        """Ship one resharding report, metered on ``migration`` only."""
 
     def notify(self, node: str, nbytes: int) -> None:
         """Meter one backend->collector control message."""
 
     def drain(self) -> None:
         """Force all queued/in-flight traffic through to the backend."""
+
+    def wire_now(self) -> float:
+        """The wire's current simulated time (the failover clock)."""
+
+    def queue_depths(self) -> dict[str, int]:
+        """Reports waiting per send link (empty on a synchronous wire)."""
 
     def stats_summary(self) -> dict[str, object] | None:
         """Delivery metrics, or None when the wire keeps none."""
@@ -88,11 +102,17 @@ class LocalTransport:
         self.backend = backend
         self.ledger = ledger
         self._clock: Clock = clock if clock is not None else (lambda: 0.0)
-        self.shard_ledgers = list(shard_ledgers or [])
+        # Shared (not copied) with the caller: an elastic deployment
+        # grows the ledger list when the backend adds shards, and the
+        # framework's per-shard panels must see the growth.
+        self.shard_ledgers = shard_ledgers if shard_ledgers is not None else []
         self._last_storage = 0
         self._last_shard_storage = [0] * len(self.shard_ledgers)
         # An in-process wire never sends a byte twice.
         self.retransmit: Meter | None = None
+        # Reshard traffic is metered separately even in-process: moving
+        # a host's state is real work whatever the wire.
+        self.migration = Meter("migration")
         if backend.notify_meter is None:
             backend.notify_meter = self.notify
 
@@ -104,6 +124,20 @@ class LocalTransport:
         self._charge_report(report.node, report.size_bytes(), self._clock())
         self.backend.receive(report)
 
+    def deliver_migration(self, report: "Report") -> None:
+        """Shard -> shard reshard traffic: migration meter only.
+
+        Never charges the network meter or a shard ledger — the
+        fig02/fig11 byte tables must be invariant under resharding,
+        with the movement's cost visible on its own meter, exactly as
+        retransmissions are."""
+        self.migration.record(report.size_bytes(), self.wire_now())
+        self.backend.receive(report)
+
+    def wire_now(self) -> float:
+        """The wire's clock (the caller's clock on an in-process wire)."""
+        return self._clock()
+
     def _charge_report(self, node: str, size: int, now: float) -> None:
         """The single charging site for the collector->backend
         direction: deployment ledger plus the owning shard's ledger.
@@ -111,14 +145,25 @@ class LocalTransport:
         through here, or the byte tables drift between wires."""
         self.ledger.network.record(size, now)
         if self.shard_ledgers:
-            self.shard_ledgers[self.backend.shard_for(node)].network.record(size, now)
+            self._shard_ledger(self.backend.shard_for(node)).network.record(size, now)
+
+    def _shard_ledger(self, shard: int) -> OverheadLedger:
+        """The shard's ledger, grown on demand for elastic scale-ups.
+
+        New shards appear mid-run only under an elastic deployment;
+        static topologies size the list at construction and never grow
+        it."""
+        while shard >= len(self.shard_ledgers):
+            self.shard_ledgers.append(OverheadLedger())
+            self._last_shard_storage.append(0)
+        return self.shard_ledgers[shard]
 
     def notify(self, node: str, nbytes: int) -> None:
         """Backend -> collector: meter one control ping toward ``node``."""
         now = self._clock()
         self.ledger.network.record(nbytes, now)
         if self.shard_ledgers:
-            self.shard_ledgers[self.backend.shard_for(node)].network.record(
+            self._shard_ledger(self.backend.shard_for(node)).network.record(
                 nbytes, now
             )
 
@@ -131,6 +176,10 @@ class LocalTransport:
 
     def drain(self) -> None:
         """In-process delivery is synchronous; nothing is in flight."""
+
+    def queue_depths(self) -> dict[str, int]:
+        """Synchronous delivery leaves no send queues to measure."""
+        return {}
 
     def stats_summary(self) -> dict[str, object] | None:
         """No queues, no links, no delivery metrics to report."""
@@ -153,9 +202,10 @@ class LocalTransport:
             self._last_storage = current
         if self.shard_ledgers:
             for i, shard in enumerate(self.backend.shards):
+                ledger = self._shard_ledger(i)
                 physical = shard.storage_bytes()
                 if physical > self._last_shard_storage[i]:
-                    self.shard_ledgers[i].storage.record(
+                    ledger.storage.record(
                         physical - self._last_shard_storage[i], now
                     )
                     self._last_shard_storage[i] = physical

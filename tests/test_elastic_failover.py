@@ -1,0 +1,275 @@
+"""Shard failover: chaos schedules, the supervisor, and convergence.
+
+The binding contracts: chaos profiles are deterministic schedules; the
+supervisor parks undeliverable reports in a bounded queue, probes with
+exponential backoff, and replays in arrival order; queries during an
+outage degrade instead of raising; recoverable chaos reconverges to the
+no-chaos answers and a permanent crash stays visibly degraded.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.agent.reports import ParamsReport
+from repro.elastic import (
+    SHARD_CHAOS_PROFILES,
+    AutoscalePolicy,
+    ShardChaosProfile,
+    ShardOutage,
+    ShardSupervisor,
+    fit_outages,
+)
+from repro.sim.elastic import run_failover_experiment
+from repro.workloads import build_onlineboutique
+
+
+class TestShardOutageValidation:
+    def test_rejects_negative_shard(self):
+        with pytest.raises(ValueError, match="shard index"):
+            ShardOutage(shard=-1, start_s=1.0)
+
+    def test_rejects_inverted_windows(self):
+        with pytest.raises(ValueError, match="end after it starts"):
+            ShardOutage(shard=0, start_s=5.0, end_s=5.0)
+
+    def test_rejects_unknown_modes(self):
+        with pytest.raises(ValueError, match="mode"):
+            ShardOutage(shard=0, start_s=1.0, end_s=2.0, mode="flaky")
+
+    def test_slow_outages_need_a_slowdown_and_an_end(self):
+        with pytest.raises(ValueError, match="slowdown_s > 0"):
+            ShardOutage(shard=0, start_s=1.0, end_s=2.0, mode="slow")
+        with pytest.raises(ValueError, match="must end"):
+            ShardOutage(shard=0, start_s=1.0, mode="slow", slowdown_s=1.0)
+
+    def test_default_end_is_the_permanent_crash(self):
+        outage = ShardOutage(shard=1, start_s=5.0)
+        assert outage.is_permanent
+        assert outage.covers(1e12)
+        assert not ShardOutage(shard=1, start_s=5.0, end_s=20.0).is_permanent
+
+
+class TestShardChaosProfile:
+    def test_down_and_slowdown_follow_the_schedule(self):
+        profile = ShardChaosProfile(
+            "mixed",
+            (
+                ShardOutage(shard=1, start_s=5.0, end_s=20.0),
+                ShardOutage(shard=2, start_s=10.0, end_s=30.0, mode="slow",
+                            slowdown_s=2.0),
+            ),
+        )
+        assert not profile.down(1, 4.9)
+        assert profile.down(1, 5.0)
+        assert not profile.down(1, 20.0)  # end is exclusive
+        assert profile.slowdown(2, 15.0) == 2.0
+        assert profile.slowdown(2, 30.0) == 0.0
+        assert profile.down_shards(15.0) == {1}
+        assert profile.final_recovery_s() == 30.0
+
+    def test_permanent_crashes_are_excluded_from_recovery(self):
+        profile = SHARD_CHAOS_PROFILES["crash"]
+        assert profile.final_recovery_s() == 0.0
+        assert not profile.is_benign
+        assert ShardChaosProfile("calm").is_benign
+
+    def test_fit_outages_rescales_into_the_stream(self):
+        fitted = fit_outages(SHARD_CHAOS_PROFILES["crash_restart"], 100.0)
+        outage = fitted.outages[0]
+        # Proportional map of [5, 20] (span 20) into [20, 50].
+        assert (outage.start_s, outage.end_s) == (27.5, 50.0)
+
+    def test_fit_outages_keeps_permanent_crashes_permanent(self):
+        fitted = fit_outages(SHARD_CHAOS_PROFILES["crash"], 100.0)
+        outage = fitted.outages[0]
+        assert math.isinf(outage.end_s)
+        assert 0.0 < outage.start_s < 100.0
+        benign = ShardChaosProfile("calm")
+        assert fit_outages(benign, 100.0) is benign
+
+
+class TestShardSupervisor:
+    def _supervisor(self, profile, clock_box, **kwargs):
+        committed: list[str] = []
+        supervisor = ShardSupervisor(
+            profile=profile,
+            commit=lambda report: committed.append(report.trace_id),
+            owner_of=lambda node: int(node.rsplit("-", 1)[1]),
+            **kwargs,
+        )
+        supervisor.bind_clock(lambda: clock_box[0])
+        return supervisor, committed
+
+    def _report(self, shard=1, trace_id="1" * 32):
+        return ParamsReport(node=f"node-{shard}", trace_id=trace_id, records=[])
+
+    def test_validation(self):
+        profile = SHARD_CHAOS_PROFILES["crash"]
+        with pytest.raises(ValueError, match="redelivery_capacity"):
+            ShardSupervisor(profile, lambda r: None, lambda n: 0,
+                            redelivery_capacity=0)
+        with pytest.raises(ValueError, match="rto_s"):
+            ShardSupervisor(profile, lambda r: None, lambda n: 0, rto_s=0.0)
+        with pytest.raises(ValueError, match="max_backoff_s"):
+            ShardSupervisor(profile, lambda r: None, lambda n: 0,
+                            rto_s=2.0, max_backoff_s=1.0)
+
+    def test_healthy_shard_commits_straight_through(self):
+        clock = [10.0]
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash_restart"], clock
+        )
+        # Shard 0 is never in the schedule.
+        assert not supervisor.intercept(self._report(shard=0))
+        assert committed == []  # intercept declines; the caller commits
+        assert supervisor.parked_reports == 0
+
+    def test_down_shard_times_out_and_parks(self):
+        clock = [6.0]  # inside the [5, 20) crash window
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash_restart"], clock
+        )
+        assert supervisor.intercept(self._report())
+        assert supervisor.stats.timeouts == 1
+        assert supervisor.stats.parked == 1
+        assert supervisor.parked_reports == 1
+        assert committed == []
+        assert supervisor.down_shards() == {1}
+
+    def test_replay_preserves_arrival_order(self):
+        clock = [6.0]
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash_restart"], clock, rto_s=0.5
+        )
+        for i in range(3):
+            supervisor.intercept(self._report(trace_id=f"{i:032x}"))
+        clock[0] = 25.0  # past the outage and every backoff probe
+        supervisor.pump()
+        assert committed == [f"{i:032x}" for i in range(3)]
+        assert supervisor.parked_reports == 0
+        assert supervisor.stats.replayed == 3
+        assert supervisor.stats.recoveries == 1
+
+    def test_probes_back_off_exponentially(self):
+        clock = [6.0]
+        supervisor, _ = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash_restart"], clock,
+            rto_s=1.0, max_backoff_s=8.0,
+        )
+        supervisor.intercept(self._report())
+        # Pump continuously: probes may only fire at 7, 9, 13 ... (1, 2,
+        # 4s of backoff), never every tick.
+        for t in [6.5, 7.0, 7.5, 8.0, 9.0, 10.0, 13.0]:
+            clock[0] = t
+            supervisor.pump()
+        assert supervisor.stats.probes == 3
+
+    def test_fifo_behind_an_undrained_backlog(self):
+        # A report for a shard with a queued backlog parks behind it
+        # even if the shard looks healthy at this instant: per-shard
+        # commit order is arrival order, always.
+        clock = [6.0]
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["slow_shard"], clock
+        )
+        supervisor.intercept(self._report(trace_id="a" * 32))  # due 8.0
+        clock[0] = 19.9  # still inside the slow window
+        assert supervisor.intercept(self._report(trace_id="b" * 32))
+        clock[0] = 30.0
+        supervisor.pump()
+        assert committed == ["a" * 32, "b" * 32]
+
+    def test_bounded_queue_sheds_oldest_and_counts(self):
+        clock = [6.0]
+        supervisor, _ = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash"], clock, redelivery_capacity=2
+        )
+        for i in range(3):
+            supervisor.intercept(self._report(trace_id=f"{i:032x}"))
+        assert supervisor.parked_reports == 2
+        assert supervisor.stats.dropped == 1
+        assert supervisor.stats.max_parked == 2
+
+    def test_settle_replays_everything_recoverable(self):
+        clock = [6.0]
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash_restart"], clock
+        )
+        supervisor.intercept(self._report())
+        supervisor.settle()  # no clock advance needed: settle jumps past
+        assert committed and supervisor.parked_reports == 0
+
+    def test_settle_leaves_permanent_crashes_parked(self):
+        clock = [6.0]
+        supervisor, committed = self._supervisor(
+            SHARD_CHAOS_PROFILES["crash"], clock
+        )
+        supervisor.intercept(self._report())
+        supervisor.settle()
+        assert committed == []
+        assert supervisor.parked_reports == 1
+
+
+class TestAutoscalePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_shards"):
+            AutoscalePolicy(min_shards=0)
+        with pytest.raises(ValueError, match="max_shards"):
+            AutoscalePolicy(min_shards=4, max_shards=2)
+        with pytest.raises(ValueError, match="factor"):
+            AutoscalePolicy(factor=1)
+        with pytest.raises(ValueError, match="hysteresis"):
+            AutoscalePolicy(scale_up_depth=4, scale_down_depth=4)
+
+    def test_scale_up_down_and_hold(self):
+        policy = AutoscalePolicy(
+            scale_up_depth=8, scale_down_depth=2, min_shards=1, max_shards=8
+        )
+        assert policy.target(2, [0, 9]) == 4
+        assert policy.target(4, [1, 1, 0, 0]) == 2
+        assert policy.target(2, [5, 5]) is None  # inside the hysteresis band
+        assert policy.target(8, [99]) is None  # already at the ceiling
+        assert policy.target(1, [0]) is None  # already at the floor
+        assert policy.target(2, []) is None  # no signal, no move
+
+
+class TestFailoverConvergence:
+    def test_crash_restart_converges_to_the_no_chaos_answers(self):
+        result = run_failover_experiment(
+            build_onlineboutique(),
+            profile="crash_restart",
+            num_traces=120,
+            auto_warmup_traces=40,
+        )
+        assert result.converged, result.violations
+        assert result.probed_mid_outage
+        assert result.supervisor["parked"] > 0
+        assert result.supervisor["replayed"] == (
+            result.supervisor["parked"] - result.supervisor["dropped"]
+        )
+        assert not result.permanently_degraded
+
+    def test_slow_shard_converges_without_losing_commits(self):
+        result = run_failover_experiment(
+            build_onlineboutique(),
+            profile="slow_shard",
+            num_traces=120,
+            auto_warmup_traces=40,
+        )
+        assert result.converged, result.violations
+        assert result.supervisor["parked"] > 0
+        assert result.supervisor["dropped"] == 0
+
+    def test_permanent_crash_degrades_but_never_raises(self):
+        result = run_failover_experiment(
+            build_onlineboutique(),
+            profile="crash",
+            num_traces=120,
+            auto_warmup_traces=40,
+        )
+        assert result.converged, result.violations
+        assert result.probed_mid_outage
+        assert result.permanently_degraded

@@ -1,0 +1,260 @@
+"""Live resharding: elastic descriptors, host eviction, bit-identity.
+
+The binding contract: a live ``from_n -> to_n`` migration — cutover
+first, snapshot second, state streamed on the separate ``migration``
+meter — ends bit-identical to a fresh deployment born at the
+destination shard count, and the fresh deployment never touches the
+migration meter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent.reports import BloomReport, ParamsReport
+from repro.backend.backend import MintBackend
+from repro.backend.sharded import shard_for_key
+from repro.backend.storage import StorageEngine
+from repro.elastic import ReshardCoordinator, placement_violations
+from repro.elastic.chaos import SHARD_CHAOS_PROFILES
+from repro.framework import MintFramework
+from repro.sim.elastic import run_reshard_experiment
+from repro.sim.experiment import generate_stream
+from repro.sim.meters import OverheadLedger
+from repro.transport import Deployment, LocalTransport
+from repro.workloads import build_onlineboutique
+
+
+class TestElasticDeploymentValidation:
+    def test_sharded_rejects_non_positive_counts(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            Deployment.sharded(0)
+        with pytest.raises(ValueError, match="at least one shard"):
+            Deployment.sharded(-2)
+
+    def test_resharded_rejects_bad_source(self):
+        with pytest.raises(ValueError, match="at least one source shard"):
+            Deployment.resharded(0, 4)
+        with pytest.raises(ValueError, match="at least one source shard"):
+            Deployment.resharded(-1, 4)
+
+    def test_resharded_rejects_bad_destination(self):
+        with pytest.raises(ValueError, match="at least one destination shard"):
+            Deployment.resharded(2, 0)
+        with pytest.raises(ValueError, match="at least one destination shard"):
+            Deployment.resharded(2, -3)
+
+    def test_resharded_rejects_the_no_op_transition(self):
+        with pytest.raises(ValueError, match="must change the shard count"):
+            Deployment.resharded(2, 2)
+
+    def test_elastic_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            Deployment.elastic_sharded(0)
+
+    def test_chaos_and_reshard_targets_need_elastic(self):
+        with pytest.raises(ValueError, match="elastic deployment"):
+            Deployment(num_shards=2, shard_chaos=SHARD_CHAOS_PROFILES["crash"])
+        with pytest.raises(ValueError, match="elastic deployment"):
+            Deployment(num_shards=2, reshard_to=4)
+
+    def test_describe_names_the_transition_and_chaos(self):
+        assert "2->4-shard" in Deployment.resharded(2, 4).describe()
+        described = Deployment.elastic_sharded(
+            2, shard_chaos=SHARD_CHAOS_PROFILES["crash_restart"]
+        ).describe()
+        assert "shardchaos=crash_restart" in described
+
+    def test_ledger_count_covers_the_destination(self):
+        assert Deployment.resharded(2, 4).ledger_count == 4
+        assert Deployment.resharded(4, 2).ledger_count == 4
+        assert Deployment.sharded(3).ledger_count == 3
+
+
+class TestEvictHost:
+    def _engine_with_two_hosts(self) -> StorageEngine:
+        engine = StorageEngine()
+        for host in ("node-a", "node-b"):
+            engine.store_bloom_report(
+                BloomReport(
+                    node=host,
+                    topo_pattern_id="t" * 16,
+                    payload=b"\x01" * 4096,
+                    inserted=3,
+                )
+            )
+            engine.store_params_report(
+                ParamsReport(
+                    node=host,
+                    trace_id="a" * 32,
+                    records=[[0, 0, host, "GET", 12]],
+                )
+            )
+        return engine
+
+    def test_eviction_conserves_bytes_across_engines(self):
+        source = self._engine_with_two_hosts()
+        target = StorageEngine()
+        before = source.storage_bytes() + target.storage_bytes()
+        blooms, params = source.evict_host("node-a")
+        for stored in blooms:
+            target.store_bloom_report(
+                BloomReport(
+                    node="node-a",
+                    topo_pattern_id=stored.topo_pattern_id,
+                    payload=stored.filter.to_bytes(),
+                    inserted=stored.filter.inserted,
+                )
+            )
+        for trace_id, records in params.items():
+            target.store_params_report(
+                ParamsReport(node="node-a", trace_id=trace_id, records=records)
+            )
+        assert source.storage_bytes() + target.storage_bytes() == before
+        assert all(b.node != "node-a" for b in source.blooms)
+        assert any(b.node == "node-a" for b in target.blooms)
+
+    def test_multi_host_buckets_keep_the_other_hosts_records(self):
+        source = self._engine_with_two_hosts()
+        source.evict_host("node-a")
+        # node-b shares the trace bucket; its record and the sampled id
+        # must survive node-a's departure.
+        assert "a" * 32 in source.params
+        assert "a" * 32 in source.sampled_trace_ids
+        assert all(record[2] == "node-b" for record in source.params["a" * 32])
+
+    def test_emptied_bucket_releases_the_sampled_id(self):
+        engine = StorageEngine()
+        engine.store_params_report(
+            ParamsReport(
+                node="node-a", trace_id="b" * 32, records=[[0, 0, "node-a", "GET", 1]]
+            )
+        )
+        engine.evict_host("node-a")
+        assert "b" * 32 not in engine.params
+        assert "b" * 32 not in engine.sampled_trace_ids
+        assert engine.params_bytes == 0
+
+    def test_evicting_an_unknown_host_is_a_no_op(self):
+        engine = self._engine_with_two_hosts()
+        before = engine.storage_bytes()
+        blooms, params = engine.evict_host("node-z")
+        assert (blooms, params) == ([], {})
+        assert engine.storage_bytes() == before
+
+
+class TestReshardCoordinator:
+    def _elastic(self, from_shards=2, to_shards=4):
+        framework = MintFramework(
+            deployment=Deployment.resharded(from_shards, to_shards),
+            auto_warmup_traces=5,
+        )
+        return framework
+
+    def test_requires_an_elastic_backend(self):
+        backend = MintBackend()
+        transport = LocalTransport(backend, ledger=OverheadLedger())
+        with pytest.raises(TypeError, match="elastic deployment"):
+            ReshardCoordinator(backend, transport, 4)
+
+    def test_rejects_non_positive_destinations(self):
+        framework = self._elastic()
+        with pytest.raises(ValueError, match="destination shard"):
+            ReshardCoordinator(framework.backend, framework.transport, 0)
+
+    def test_plan_is_the_minimal_movement_set(self):
+        framework = self._elastic(2, 4)
+        workload = build_onlineboutique()
+        stream, _ = generate_stream(workload, 30, 0.02, 6000.0, seed=3)
+        for now, trace in stream:
+            framework.process_trace(trace, now)
+        coordinator = ReshardCoordinator(framework.backend, framework.transport, 4)
+        plan = coordinator.plan()
+        hosts = [c.node for c in framework.backend._collectors]
+        expected = {
+            host
+            for host in hosts
+            if shard_for_key(host, 2) != shard_for_key(host, 4)
+        }
+        assert {move.host for move in plan} == expected
+        for move in plan:
+            assert move.source == shard_for_key(move.host, 2)
+            assert move.target == shard_for_key(move.host, 4)
+            assert move.source != move.target
+
+    def test_framework_reshard_defaults_to_the_declared_target(self):
+        framework = self._elastic(2, 4)
+        workload = build_onlineboutique()
+        stream, _ = generate_stream(workload, 30, 0.02, 6000.0, seed=3)
+        for now, trace in stream:
+            framework.process_trace(trace, now)
+        stats = framework.reshard()
+        assert framework.backend.num_shards == 4
+        assert stats.hosts_moved > 0
+        assert framework.migration_bytes > 0
+        assert placement_violations(framework.backend) == []
+
+    def test_migration_streams_flushed_blooms_bit_for_bit(self):
+        # Short streams rarely flush a Bloom buffer before the reshard
+        # triggers, so plant a flushed filter on a moving host and make
+        # sure the snapshot carries it: same bits, same insertion count
+        # (a reset count would un-fill the filter on the destination).
+        framework = self._elastic(2, 4)
+        stream, _ = generate_stream(build_onlineboutique(), 40, 0.02, 6000.0, seed=3)
+        for now, trace in stream:
+            framework.process_trace(trace, now)
+        coordinator = ReshardCoordinator(framework.backend, framework.transport, 4)
+        move = coordinator.plan()[0]
+        framework.backend.receive(
+            BloomReport(
+                node=move.host,
+                topo_pattern_id="t" * 16,
+                payload=b"\x01" * 4096,
+                inserted=7,
+            )
+        )
+        coordinator.run()
+        target = framework.backend.shards[move.target]
+        landed = [
+            b
+            for b in target.blooms
+            if b.node == move.host and b.topo_pattern_id == "t" * 16
+        ]
+        assert len(landed) == 1
+        assert landed[0].filter.to_bytes() == b"\x01" * 4096
+        assert landed[0].filter.inserted == 7
+        source = framework.backend.shards[move.source]
+        assert not any(b.node == move.host for b in source.blooms)
+        assert coordinator.stats.bloom_reports >= 1
+        assert placement_violations(framework.backend) == []
+
+    def test_reshard_without_a_target_is_an_error(self):
+        framework = MintFramework(
+            deployment=Deployment.elastic_sharded(2), auto_warmup_traces=5
+        )
+        with pytest.raises(ValueError, match="target"):
+            framework.reshard()
+
+
+class TestReshardBitIdentity:
+    def test_grow_is_bit_identical_to_the_fresh_deployment(self):
+        result = run_reshard_experiment(
+            build_onlineboutique(),
+            from_shards=2,
+            to_shards=4,
+            num_traces=120,
+            auto_warmup_traces=40,
+        )
+        assert result.identical, result.violations
+        assert result.migration["hosts_moved"] > 0
+        assert result.migration_bytes > 0
+
+    def test_shrink_is_bit_identical_to_the_fresh_deployment(self):
+        result = run_reshard_experiment(
+            build_onlineboutique(),
+            from_shards=4,
+            to_shards=2,
+            num_traces=120,
+            auto_warmup_traces=40,
+        )
+        assert result.identical, result.violations

@@ -134,6 +134,39 @@ class TestChaos:
         assert (window.start_s, window.end_s) == (27.5, 50.0)
         assert fit_partitions(CHAOS_PROFILES["drop"], 100.0) is CHAOS_PROFILES["drop"]
 
+    def test_fit_partitions_clamps_windows_straddling_the_stream_end(self):
+        # A window that starts inside the lifetime but extends past it
+        # is the outage the stream actually experiences: clamp it to
+        # end at the stream's end instead of proportionally dragging
+        # its start toward zero on the irrelevantly large end time.
+        profile = ChaosProfile(
+            "long-tail", partitions=(PartitionWindow(30.0, 500.0),)
+        )
+        fitted = fit_partitions(profile, duration_s=100.0)
+        assert (fitted.partitions[0].start_s, fitted.partitions[0].end_s) == (
+            30.0,
+            100.0,
+        )
+
+    def test_fit_partitions_clamp_keeps_inside_windows_verbatim(self):
+        profile = ChaosProfile(
+            "mixed-tail",
+            partitions=(
+                PartitionWindow(10.0, 20.0, nodes=("node-a",)),
+                PartitionWindow(30.0, 500.0),
+                PartitionWindow(200.0, 300.0),  # fully past the stream
+            ),
+        )
+        fitted = fit_partitions(profile, duration_s=100.0)
+        assert len(fitted.partitions) == 2  # the never-started window drops
+        inside, clamped = fitted.partitions
+        assert (inside.start_s, inside.end_s, inside.nodes) == (
+            10.0,
+            20.0,
+            ("node-a",),
+        )
+        assert (clamped.start_s, clamped.end_s) == (30.0, 100.0)
+
     def test_fit_partitions_preserves_multi_window_timing(self):
         profile = ChaosProfile(
             "two-outages",
@@ -296,6 +329,37 @@ class TestBackendReceiveDedup:
         stored = len(backend.storage.blooms)
         backend.receive(self._bloom(), message_id=("node-0", 10, 0))
         assert len(backend.storage.blooms) == stored
+
+    def test_out_of_order_ids_below_the_watermark_are_idempotent(self):
+        # A retransmitted batch can resurface arbitrarily old sequence
+        # numbers in any order; everything at or below the channel's
+        # high-water mark must be ignored without perturbing storage or
+        # the watermark itself.
+        backend = MintBackend()
+        for seq in range(6):
+            backend.receive(self._bloom(), message_id=("node-0", seq, 0))
+        stored = len(backend.storage.blooms)
+        nbytes = backend.storage_bytes()
+        watermark = backend._delivered_watermarks["node-0"]
+        for seq in (3, 0, 5, 1, 4, 2):
+            backend.receive(self._bloom(), message_id=("node-0", seq, 0))
+        assert len(backend.storage.blooms) == stored
+        assert backend.storage_bytes() == nbytes
+        assert backend._delivered_watermarks["node-0"] == watermark
+        # The next fresh sequence number still lands.
+        backend.receive(self._bloom(), message_id=("node-0", 6, 0))
+        assert len(backend.storage.blooms) == stored + 1
+
+    def test_watermarks_are_scoped_per_channel(self):
+        # Another channel for the same node (the migration links use a
+        # prefixed channel name) keeps its own watermark: node-0's high
+        # water must not suppress fresh deliveries elsewhere.
+        backend = MintBackend()
+        for seq in range(5):
+            backend.receive(self._bloom(), message_id=("node-0", seq, 0))
+        stored = len(backend.storage.blooms)
+        backend.receive(self._bloom(), message_id=("migrate::node-0", 0, 0))
+        assert len(backend.storage.blooms) == stored + 1
 
 
 class TestNetTransport:
