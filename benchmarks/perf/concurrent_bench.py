@@ -1,0 +1,225 @@
+"""Concurrent ingest-plane measurement.
+
+One measurement = one workload's deterministic stream pushed through a
+parallel deployment (worker lanes + single-writer apply barrier) at a
+given (topology, lane mode, worker count), wall-clocked end to end.
+The same topology at ``workers=0`` — the classic single-threaded loop —
+is the reference: spans/sec ratios give the scaling curve, and the
+reference's fingerprint (byte tables, meter series, shard ledgers,
+query signature, stored-trace set; see
+:mod:`repro.concurrent.verify`) is the oracle every parallel run must
+match bit for bit.
+
+Scaling context matters and is recorded rather than assumed: thread
+lanes only scale on free-threaded builds (the GIL serialises parsing
+otherwise), process lanes scale with physical cores, and the gate in
+``run_concurrent_bench.py`` adapts to ``cpu_count`` the same way the
+CI wall-clock bounds elsewhere stay loose for shared runners.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+
+from repro.concurrent.verify import compare_fingerprints, fingerprint
+from repro.framework import MintFramework
+from repro.transport import Deployment
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from sharded_bench import (  # noqa: E402  (path bootstrap above)
+    WORKLOAD_BUILDERS,
+    build_stream,
+)
+
+__all__ = [
+    "WORKLOAD_BUILDERS",
+    "build_stream",
+    "ConcurrentMeasurement",
+    "InvarianceVerdict",
+    "available_cores",
+    "measure_concurrent",
+]
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+DEFAULT_MODES = ("thread", "process")
+DEFAULT_TRACES = 400
+DEFAULT_WARMUP_TRACES = 100
+DEFAULT_SHARDS = 4
+DEFAULT_INGEST_EPOCH = 32
+REPEATS = 3
+
+
+def available_cores() -> int:
+    """Usable CPU cores (affinity-aware where the platform reports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class ConcurrentMeasurement:
+    """One (workload, topology, mode, workers) cell of BENCH_concurrent."""
+
+    workload: str
+    topology: str
+    mode: str
+    workers: int
+    traces: int
+    spans: int
+    elapsed_seconds: float
+    spans_per_sec: float
+    speedup: float  # vs the same topology's sequential reference
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "topology": self.topology,
+            "mode": self.mode,
+            "workers": self.workers,
+            "traces": self.traces,
+            "spans": self.spans,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "spans_per_sec": round(self.spans_per_sec, 1),
+            "speedup": round(self.speedup, 3),
+        }
+
+
+@dataclass
+class InvarianceVerdict:
+    """Bit-identity verdict for one parallel run vs its reference."""
+
+    workload: str
+    topology: str
+    mode: str
+    workers: int
+    identical: bool
+    violations: list[str] = field(default_factory=list)
+
+
+def _drive(framework: MintFramework, stream) -> float:
+    import time
+
+    started = time.perf_counter()
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return time.perf_counter() - started
+
+
+def _best_of(factory, stream, repeats: int):
+    """Fresh-framework repeats, keeping (and not yet closing) the fastest."""
+    best_elapsed = float("inf")
+    best_framework = None
+    for _ in range(max(1, repeats)):
+        framework = factory()
+        elapsed = _drive(framework, stream)
+        if elapsed < best_elapsed:
+            if best_framework is not None:
+                best_framework.close()
+            best_elapsed, best_framework = elapsed, framework
+        else:
+            framework.close()
+    return best_elapsed, best_framework
+
+
+def _deployment(num_shards: int, workers: int, mode: str, epoch: int) -> Deployment:
+    if num_shards > 0:
+        return Deployment.sharded(
+            num_shards, workers=workers, worker_mode=mode, ingest_epoch=epoch
+        )
+    return Deployment.single(workers=workers, worker_mode=mode, ingest_epoch=epoch)
+
+
+def measure_concurrent(
+    workload_name: str,
+    stream,
+    topologies: tuple[int, ...] = (0, DEFAULT_SHARDS),
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS,
+    modes: tuple[str, ...] = DEFAULT_MODES,
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+    ingest_epoch: int = DEFAULT_INGEST_EPOCH,
+    repeats: int = REPEATS,
+) -> tuple[list[ConcurrentMeasurement], list[InvarianceVerdict]]:
+    """Sweep every (topology, mode, workers) cell over one stream.
+
+    ``topologies`` lists shard counts (0 = the single backend).  Each
+    topology contributes its own sequential reference (``workers=0``),
+    so verdicts isolate exactly what the concurrent plane changes.
+    """
+    span_count = sum(len(trace.spans) for _, trace in stream)
+    measurements: list[ConcurrentMeasurement] = []
+    verdicts: list[InvarianceVerdict] = []
+    for num_shards in topologies:
+        topology = "single" if num_shards == 0 else f"sharded{num_shards}"
+
+        def reference_factory(num_shards=num_shards):
+            return MintFramework(
+                auto_warmup_traces=warmup_traces,
+                deployment=_deployment(num_shards, 0, "thread", ingest_epoch),
+            )
+
+        ref_elapsed, reference = _best_of(reference_factory, stream, repeats)
+        ref_print = fingerprint(reference, stream)
+        measurements.append(
+            ConcurrentMeasurement(
+                workload=workload_name,
+                topology=topology,
+                mode="sequential",
+                workers=0,
+                traces=len(stream),
+                spans=span_count,
+                elapsed_seconds=ref_elapsed,
+                spans_per_sec=span_count / ref_elapsed if ref_elapsed > 0 else 0.0,
+                speedup=1.0,
+            )
+        )
+        reference.close()
+
+        for mode in modes:
+            for workers in worker_counts:
+
+                def factory(num_shards=num_shards, mode=mode, workers=workers):
+                    return MintFramework(
+                        auto_warmup_traces=warmup_traces,
+                        deployment=_deployment(
+                            num_shards, workers, mode, ingest_epoch
+                        ),
+                    )
+
+                elapsed, framework = _best_of(factory, stream, repeats)
+                violations = compare_fingerprints(
+                    ref_print,
+                    fingerprint(framework, stream),
+                    label=f"{topology}/{mode}/workers={workers}",
+                )
+                framework.close()
+                measurements.append(
+                    ConcurrentMeasurement(
+                        workload=workload_name,
+                        topology=topology,
+                        mode=mode,
+                        workers=workers,
+                        traces=len(stream),
+                        spans=span_count,
+                        elapsed_seconds=elapsed,
+                        spans_per_sec=span_count / elapsed if elapsed > 0 else 0.0,
+                        speedup=ref_elapsed / elapsed if elapsed > 0 else 0.0,
+                    )
+                )
+                verdicts.append(
+                    InvarianceVerdict(
+                        workload=workload_name,
+                        topology=topology,
+                        mode=mode,
+                        workers=workers,
+                        identical=not violations,
+                        violations=violations,
+                    )
+                )
+    return measurements, verdicts

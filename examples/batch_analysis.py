@@ -6,11 +6,14 @@ few thousand spans survive per window; with Mint, unsampled traces
 contribute approximate spans (execution paths + bucket-mapped
 durations), multiplying the analysable population.
 
-This example runs Mint over a *sharded* deployment
-(``Deployment.sharded(2)``) to show that batch analysis is topology
-blind: the merged view answers exactly like a single backend would,
-so the analysis code never knows the collection plane is two boxes.
-The whole window flows through one ``query_many`` cursor — a batched
+This example runs Mint over a *sharded, parallel* deployment
+(``Deployment.sharded(2, workers=EXAMPLE_WORKERS)``) to show that
+batch analysis is topology blind twice over: the merged view answers
+exactly like a single backend would, so the analysis code never knows
+the collection plane is two boxes — nor that ingest ran on concurrent
+worker lanes (worker-count invariance makes every number below
+bit-identical at any ``workers`` setting, 0 included).  The whole
+window flows through one ``query_many`` cursor — a batched
 shard-fanout plan streaming results one at a time — into the Trace
 Explorer's :class:`BatchAnalysis`.
 
@@ -24,13 +27,16 @@ from repro.backend.explorer import BatchAnalysis
 from repro.workloads import WorkloadDriver, build_onlineboutique
 
 NUM_TRACES = 1200
+EXAMPLE_WORKERS = 2  # any value (0 = sequential) prints identical numbers
 
 
 def main() -> None:
     workload = build_onlineboutique()
     driver = WorkloadDriver(workload, seed=21, requests_per_minute=6000)
 
-    mint = MintFramework(deployment=Deployment.sharded(2))
+    mint = MintFramework(
+        deployment=Deployment.sharded(2, workers=EXAMPLE_WORKERS)
+    )
     head = OTHead(rate=0.05)
 
     traces = []
@@ -66,6 +72,8 @@ def main() -> None:
         buckets = analysis.service_duration_buckets[service]
         top = ", ".join(f"{b} x{c}" for b, c in buckets.most_common(2))
         print(f"  {service:<26} {top}")
+
+    mint.close()
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="mint-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of Mint: cost-effective distributed tracing with "
         "pattern-based commonality/variability analysis"
@@ -34,6 +34,7 @@ setup(
         "Programming Language :: Python :: 3.10",
         "Programming Language :: Python :: 3.11",
         "Programming Language :: Python :: 3.12",
+        "Programming Language :: Python :: 3.13",
         "License :: OSI Approved :: MIT License",
         "Topic :: System :: Distributed Computing",
         "Topic :: System :: Monitoring",

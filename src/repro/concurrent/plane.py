@@ -1,0 +1,374 @@
+"""The parallel ingest plane: shard-parallel workers, single writer.
+
+:class:`ParallelIngestPlane` fans the ingest hot path (span parsing,
+pattern interning, Bloom mounting, sampling) out over worker lanes
+while keeping every side effect that the rest of the system can
+observe — transport byte charges, backend stores, notification
+fan-out, storage syncs — on the parent, in the exact order a
+single-threaded run would have produced them.  That split is the whole
+determinism argument:
+
+* **Partitioned fleet.**  Hosts are assigned to lanes by the same
+  stable hash that assigns them to shards (``shard_for_key``), so a
+  host's sub-traces always land on the same lane in submission order —
+  per ``(link, host)`` report order is preserved by construction, and
+  ``workers == num_shards`` runs each shard's producer fleet on its own
+  worker.
+* **Stamped reports.**  Lanes never touch the transport; they stamp
+  every would-be delivery with its sequential position
+  (see :mod:`repro.concurrent.worker`).
+* **Deterministic epochs.**  Every ``ingest_epoch`` traces (a count,
+  never wall clock — worker-count independent) the plane barriers all
+  lanes and **applies**: reports are delivered through the real
+  transport sorted by stamp, sampling notifications run per trace in
+  sub-trace order with their mark round-trips, and storage is synced
+  per trace at that trace's timestamp.  The apply loop is the only
+  writer the backend, meters and query plane ever see.
+* **Published snapshots.**  After each apply the plane captures an
+  immutable :class:`PatternPlaneSnapshot` and swaps one reference —
+  the read-mostly pattern plane is served RCU-style, never locked.
+
+Bit-identity with the sequential run therefore holds at any worker
+count, in both lane modes, provided only that a params buffer does not
+overflow *within* one epoch (sequential eviction happens per trace;
+the plane evicts at the barrier).  The default 4 MB buffers hold
+hundreds of epochs of gate workloads, and the invariance gate in
+``run_concurrent_bench.py --check`` pins the guarantee empirically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.agent.reports import PatternLibraryReport, Report
+from repro.backend.sharded import shard_for_key
+from repro.concurrent.lanes import DEFAULT_QUEUE_BOUND, make_lane
+from repro.concurrent.snapshot import PatternPlaneSnapshot
+from repro.concurrent.worker import SamplerFactory, Stamp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.config import MintConfig
+    from repro.model.trace import Trace
+    from repro.transport.plane import BackendPlane
+    from repro.transport.transport import Transport
+
+#: Sub-trace ops buffered per lane before a batch is posted — amortises
+#: queue/pipe traffic without delaying work past an epoch (the barrier
+#: flushes partial batches).
+DEFAULT_OPS_BATCH = 32
+
+
+class LaneCollectorProxy:
+    """Stands in for a lane-resident collector in the parent's registry.
+
+    The backend plane's notification fan-out and retroactive parameter
+    pull only need ``node``, ``mark_sampled`` and ``request_params`` —
+    this proxy forwards them to the owning lane through the plane, so
+    ``BackendPlane`` runs unmodified over a partitioned fleet.
+    Registration order equals node discovery order, exactly as in the
+    sequential run, so fan-out visits collectors identically.
+    """
+
+    def __init__(self, plane: "ParallelIngestPlane", node: str, lane_index: int) -> None:
+        self._plane = plane
+        self._node = node
+        self.lane_index = lane_index
+
+    @property
+    def node(self) -> str:
+        """Node this (remote) collector serves."""
+        return self._node
+
+    def mark_sampled(self, trace_id: str) -> None:
+        """Queue the backend's sampling mark for the owning lane."""
+        self._plane._queue_mark(self, trace_id)
+
+    def request_params(self, trace_id: str) -> bool:
+        """Synchronous pull round-trip to the owning lane."""
+        return self._plane._pull(self, trace_id)
+
+
+class ParallelIngestPlane:
+    """Shard-parallel ingest over worker lanes, applied by one writer."""
+
+    def __init__(
+        self,
+        backend: "BackendPlane",
+        transport: "Transport",
+        config: "MintConfig",
+        workers: int,
+        mode: str = "thread",
+        ingest_epoch: int = 32,
+        set_now: Callable[[float], None] | None = None,
+        sampler_factories: list[SamplerFactory] | None = None,
+        queue_bound: int = DEFAULT_QUEUE_BOUND,
+        ops_batch: int = DEFAULT_OPS_BATCH,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("a parallel ingest plane needs at least one worker")
+        if ingest_epoch <= 0:
+            raise ValueError("ingest_epoch must be a positive trace count")
+        self.backend = backend
+        self.transport = transport
+        self.workers = workers
+        self.mode = mode
+        self.ingest_epoch = ingest_epoch
+        self._set_now = set_now if set_now is not None else (lambda now: None)
+        self._ops_batch = ops_batch
+        self._lanes = [
+            make_lane(mode, i, config, sampler_factories, queue_bound)
+            for i in range(workers)
+        ]
+        self._proxies: dict[str, LaneCollectorProxy] = {}
+        self._op_buffers: list[list] = [[] for _ in range(workers)]
+        # (seq, now, trace_id) of every trace submitted this epoch.
+        self._epoch_meta: list[tuple[int, float, str]] = []
+        self._seq = 0
+        self._epochs_applied = 0
+        # Marks queued by proxies during the apply loop's notifications.
+        self._mark_queue: list[tuple[int, int, str, str]] = []
+        self._mark_order = 0
+        self._snapshot = PatternPlaneSnapshot.empty()
+        self._patterns_dirty = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def warm_up(self, traces: Iterable["Trace"]) -> None:
+        """Fan the offline warm-up out to the owning lanes.
+
+        Node grouping and iteration order match the framework's
+        sequential ``warm_up`` exactly, so proxies register (and lanes
+        later create collectors) in the identical discovery order.
+        """
+        per_node: dict[str, list] = {}
+        for trace in traces:
+            for span in trace.spans:
+                per_node.setdefault(span.node, []).append(span)
+        per_lane: dict[int, list] = defaultdict(list)
+        for node, spans in per_node.items():
+            proxy = self._proxy_for(node)
+            per_lane[proxy.lane_index].append((node, spans))
+        for lane_index, items in per_lane.items():
+            self._lanes[lane_index].post(("warmup", items))
+        # No reply needed: per-lane FIFO ordering already guarantees the
+        # warm-up lands before any op posted after this returns.
+
+    def submit(self, trace: "Trace", now: float) -> None:
+        """Queue one trace's sub-traces on their owning lanes.
+
+        Applies the pending epoch when it fills.  The epoch boundary is
+        a pure function of the trace sequence number — never of worker
+        count, queue depth or timing — which is what makes every
+        observable byte and store identical at any parallelism.
+        """
+        seq = self._seq
+        self._seq += 1
+        self._epoch_meta.append((seq, now, trace.trace_id))
+        for sub_idx, sub_trace in enumerate(trace.sub_traces()):
+            proxy = self._proxy_for(sub_trace.node)
+            buffer = self._op_buffers[proxy.lane_index]
+            buffer.append((seq, sub_idx, now, sub_trace))
+            if len(buffer) >= self._ops_batch:
+                self._lanes[proxy.lane_index].post(("ops", buffer))
+                self._op_buffers[proxy.lane_index] = []
+        if len(self._epoch_meta) >= self.ingest_epoch:
+            self._apply_epoch()
+
+    def quiesce(self) -> None:
+        """Barrier and apply the partial epoch; lanes end up idle.
+
+        The query plane calls this before planning so mid-run reads see
+        a complete prefix of the stream, never a torn epoch.
+        """
+        self._apply_epoch()
+
+    def flush_collectors(self, now: float) -> None:
+        """End-of-run flush of every collector, in registration order.
+
+        Drains the partial epoch first, then replays each collector's
+        flush emissions (final pattern report, active Bloom filters,
+        owed params) through the transport exactly as the sequential
+        ``finalize`` loop would have.
+        """
+        self._apply_epoch()
+        per_lane: dict[int, list] = defaultdict(list)
+        for order, proxy in enumerate(self._proxies.values()):
+            per_lane[proxy.lane_index].append((order, proxy.node))
+        self._set_now(now)
+        for lane_index, items in per_lane.items():
+            self._lanes[lane_index].post(("flush", items, now))
+        merged: list[tuple[Stamp, Report]] = []
+        for lane_index in per_lane:
+            reply = self._lanes[lane_index].collect()
+            merged.extend(reply[1])
+        merged.sort(key=lambda item: item[0])
+        for _, report in merged:
+            self._deliver(report)
+        self._publish_snapshot()
+
+    # ------------------------------------------------------------------
+    # The single-writer apply step
+    # ------------------------------------------------------------------
+    def _apply_epoch(self) -> None:
+        """Barrier all lanes and replay the epoch sequentially.
+
+        Phase 1 (parallel, already done): lanes parsed and sampled.
+        Phase 2 (here, single-writer): for each trace in sequence
+        order — deliver its stamped reports through the real transport,
+        run its sampling notifications (charging pings and doing the
+        mark round-trips), then sync storage at its timestamp.  This is
+        byte-for-byte the sequential ``_process_online`` schedule.
+        """
+        if not self._epoch_meta:
+            return
+        for lane_index, buffer in enumerate(self._op_buffers):
+            if buffer:
+                self._lanes[lane_index].post(("ops", buffer))
+                self._op_buffers[lane_index] = []
+        for lane in self._lanes:
+            lane.post(("barrier",))
+        reports: list[tuple[Stamp, Report]] = []
+        sampled: list[tuple[int, int, str, str]] = []
+        for lane in self._lanes:
+            reply = lane.collect()
+            reports.extend(reply[1])
+            sampled.extend(reply[2])
+        reports.sort(key=lambda item: item[0])
+        sampled.sort(key=lambda item: (item[0], item[1]))
+        reports_by_seq: dict[int, list[tuple[Stamp, Report]]] = defaultdict(list)
+        for stamp, report in reports:
+            reports_by_seq[stamp[0]].append((stamp, report))
+        sampled_by_seq: dict[int, list[tuple[int, int, str, str]]] = defaultdict(list)
+        for entry in sampled:
+            sampled_by_seq[entry[0]].append(entry)
+        for seq, now, _trace_id in self._epoch_meta:
+            self._set_now(now)
+            for _, report in reports_by_seq.get(seq, ()):
+                self._deliver(report)
+            for _, _, node, trace_id in sampled_by_seq.get(seq, ()):
+                self.backend.notify_sampled(trace_id, origin_node=node)
+            self._flush_marks()
+            self.transport.sync_storage()
+        self._epoch_meta = []
+        self._epochs_applied += 1
+        self._publish_snapshot()
+
+    def _deliver(self, report: Report) -> None:
+        self.transport.deliver(report)
+        if isinstance(report, PatternLibraryReport):
+            self._patterns_dirty = True
+
+    def _queue_mark(self, proxy: LaneCollectorProxy, trace_id: str) -> None:
+        order = self._mark_order
+        self._mark_order += 1
+        self._mark_queue.append((order, proxy.lane_index, proxy.node, trace_id))
+
+    def _flush_marks(self) -> None:
+        """Round-trip queued sampling marks and replay their uploads.
+
+        The backend queued marks in collector-registration order; the
+        stamp sort below replays the resulting params uploads in that
+        same order, matching the sequential interleaving (meter buckets
+        are time-keyed sums, so ping-vs-upload micro-order within the
+        instant is unobservable).
+        """
+        if not self._mark_queue:
+            return
+        per_lane: dict[int, list] = defaultdict(list)
+        for order, lane_index, node, trace_id in self._mark_queue:
+            per_lane[lane_index].append((order, node, trace_id))
+        self._mark_queue = []
+        self._mark_order = 0
+        for lane_index, items in per_lane.items():
+            self._lanes[lane_index].post(("mark", items))
+        merged: list[tuple[Stamp, Report]] = []
+        for lane_index in per_lane:
+            reply = self._lanes[lane_index].collect()
+            merged.extend(reply[1])
+        merged.sort(key=lambda item: item[0])
+        for _, report in merged:
+            self._deliver(report)
+
+    def _pull(self, proxy: LaneCollectorProxy, trace_id: str) -> bool:
+        """Synchronous retroactive pull against one lane collector."""
+        lane = self._lanes[proxy.lane_index]
+        lane.post(("pull", proxy.node, trace_id))
+        _, buffered, reports = lane.collect()
+        for _, report in reports:
+            self._deliver(report)
+        return buffered
+
+    # ------------------------------------------------------------------
+    # Fleet wiring
+    # ------------------------------------------------------------------
+    def _proxy_for(self, node: str) -> LaneCollectorProxy:
+        proxy = self._proxies.get(node)
+        if proxy is None:
+            proxy = LaneCollectorProxy(self, node, shard_for_key(node, self.workers))
+            self._proxies[node] = proxy
+            self.backend.register_collector(proxy)
+        return proxy
+
+    @property
+    def nodes(self) -> list[str]:
+        """Discovered nodes, registration order."""
+        return list(self._proxies)
+
+    def lane_of(self, node: str) -> int | None:
+        """Which lane owns ``node`` (None before discovery)."""
+        proxy = self._proxies.get(node)
+        return proxy.lane_index if proxy is not None else None
+
+    def worker_library_stats(self, node: str) -> dict | None:
+        """Introspect the owning lane's agent libraries for ``node``.
+
+        Test/diagnostic hook: returns the lane-side interned pattern
+        ids, or None when the node is unknown.  Quiesce first for a
+        stable answer mid-run.
+        """
+        proxy = self._proxies.get(node)
+        if proxy is None:
+            return None
+        lane = self._lanes[proxy.lane_index]
+        lane.post(("introspect", node))
+        return lane.collect()[1]
+
+    # ------------------------------------------------------------------
+    # Published pattern plane
+    # ------------------------------------------------------------------
+    def pattern_snapshot(self) -> PatternPlaneSnapshot:
+        """The latest published snapshot (atomic reference read)."""
+        return self._snapshot
+
+    def _publish_snapshot(self) -> None:
+        if not self._patterns_dirty:
+            return
+        self._snapshot = PatternPlaneSnapshot.capture(
+            self.backend.storage, self._snapshot.version + 1
+        )
+        self._patterns_dirty = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def epochs_applied(self) -> int:
+        """How many apply barriers have run (diagnostics)."""
+        return self._epochs_applied
+
+    def shutdown(self) -> None:
+        """Stop every lane; idempotent, never raises."""
+        if self._stopped:
+            return
+        self._stopped = True
+        for lane in self._lanes:
+            lane.stop()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass

@@ -1,0 +1,82 @@
+"""Read-mostly pattern-plane snapshots.
+
+The interned pattern libraries are the textbook read-mostly structure:
+they grow early, then ~every span resolves against them without a
+write.  The concurrent plane therefore publishes them RCU-style — the
+single writer captures an immutable :class:`PatternPlaneSnapshot` at
+each epoch barrier and swaps one reference; readers on any thread see
+either the previous complete epoch or the new one, never a
+half-applied store.  Snapshots are cheap (the pattern objects
+themselves are immutable and shared; only the id→pattern mapping is
+copied) and versioned, so a reader can tell whether anything changed
+since it last looked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parsing.span_parser import SpanPattern
+    from repro.parsing.trace_parser import TopoPattern
+
+
+@dataclass(frozen=True)
+class PatternPlaneSnapshot:
+    """One published, immutable view of the deployment's pattern plane.
+
+    ``version`` increments only when a pattern report actually changed
+    the plane between captures — Bloom and params traffic never bumps
+    it, so readers polling the version skip reconciliation on the vast
+    majority of epochs.
+    """
+
+    version: int
+    span_patterns: Mapping[str, "SpanPattern"]
+    topo_patterns: Mapping[str, "TopoPattern"]
+    pattern_bytes: int
+
+    @classmethod
+    def empty(cls) -> "PatternPlaneSnapshot":
+        """The version-0 snapshot published before any epoch applies."""
+        return cls(
+            version=0,
+            span_patterns=MappingProxyType({}),
+            topo_patterns=MappingProxyType({}),
+            pattern_bytes=0,
+        )
+
+    @classmethod
+    def capture(cls, storage: Any, version: int) -> "PatternPlaneSnapshot":
+        """Freeze the backend store's current pattern plane.
+
+        Works over a single :class:`~repro.backend.storage.StorageEngine`
+        and the sharded merged view alike — both expose iterable
+        ``span_patterns`` / ``topo_patterns`` mappings and a
+        ``pattern_bytes`` figure.  Only the single writer calls this,
+        between epochs, so the iteration is race-free by construction.
+        """
+        span = {pid: storage.span_patterns.get(pid) for pid in storage.span_patterns}
+        topo = {pid: storage.topo_patterns.get(pid) for pid in storage.topo_patterns}
+        return cls(
+            version=version,
+            span_patterns=MappingProxyType(span),
+            topo_patterns=MappingProxyType(topo),
+            pattern_bytes=storage.pattern_bytes,
+        )
+
+    def __len__(self) -> int:
+        return len(self.span_patterns) + len(self.topo_patterns)
+
+    def get(self, pattern_id: str) -> Any:
+        """Pattern by id across both planes, or None."""
+        found = self.span_patterns.get(pattern_id)
+        if found is not None:
+            return found
+        return self.topo_patterns.get(pattern_id)
+
+    def pattern_ids(self) -> tuple[str, ...]:
+        """All published pattern ids, span plane first, insertion order."""
+        return tuple(self.span_patterns) + tuple(self.topo_patterns)

@@ -1,0 +1,137 @@
+"""The worker-count invariance oracle.
+
+One place that defines what "bit-identical to the single-threaded run"
+means operationally, shared by the benchmark gate
+(``run_concurrent_bench.py --check``), the test suite and the sim
+harness: fingerprint a driven framework, then diff two fingerprints
+into a human-readable violation list.  A fingerprint covers everything
+the paper's figures read —
+
+* the fig02/fig11 byte tables (network/storage totals plus the
+  pattern/Bloom/params storage split and, when sharded, the merge
+  layer's replicated pattern bytes);
+* the per-minute meter series behind the MB/min panels (totals can
+  collide by accident; the time series cannot);
+* per-shard ledger totals (charge *attribution*, not just sums);
+* the full query signature — status per trace, plus exact span counts
+  and partial segment shapes, so reconstruction equivalence is pinned
+  span-for-span;
+* the stored trace-id set.
+
+Event counts are deliberately *not* fingerprinted: meters are
+time-keyed byte sums, and the number of ``record`` calls that built a
+bucket is an implementation detail the contract does not promise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.query.result import QueryStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.framework import MintFramework
+
+
+def byte_tables(framework: "MintFramework") -> dict[str, int]:
+    """The fig02/fig11 byte-table row for one driven framework."""
+    storage = framework.backend.storage
+    tables = {
+        "network_bytes": framework.network_bytes,
+        "storage_bytes": framework.storage_bytes,
+        "pattern_bytes": storage.pattern_bytes,
+        "bloom_bytes": storage.bloom_bytes,
+        "params_bytes": storage.params_bytes,
+    }
+    merged = getattr(framework.backend, "merged", None)
+    if merged is not None:
+        tables["replicated_pattern_bytes"] = merged.replicated_pattern_bytes()
+    return tables
+
+
+def meter_series(framework: "MintFramework") -> dict[str, list[tuple[int, int]]]:
+    """Per-minute (minute, bytes) series for the MB/min panels."""
+    return {
+        "network": framework.ledger.network.per_minute_series(),
+        "storage": framework.ledger.storage.per_minute_series(),
+    }
+
+
+def shard_ledger_totals(framework: "MintFramework") -> list[tuple[int, int]]:
+    """(network, storage) totals per shard ledger — charge attribution."""
+    return [
+        (ledger.network.total_bytes, ledger.storage.total_bytes)
+        for ledger in framework.shard_ledgers
+    ]
+
+
+def query_signature(
+    framework: "MintFramework", trace_ids: Iterable[str]
+) -> list[tuple[str, str]]:
+    """(trace id, status detail) per trace.
+
+    Statuses alone understate equivalence, so exact hits fold in the
+    reconstructed span count and partial hits the segment shapes —
+    the same oracle the sharded invariance gate uses.
+    """
+    signature: list[tuple[str, str]] = []
+    for result in framework.query_many(trace_ids):
+        detail = str(result.status)
+        if result.status is QueryStatus.EXACT and result.trace is not None:
+            detail += f":{len(result.trace.spans)}"
+        elif result.status is QueryStatus.PARTIAL and result.approximate is not None:
+            detail += ":" + ",".join(
+                f"{seg.topo_pattern_id}/{seg.span_count}"
+                for seg in result.approximate.segments
+            )
+        signature.append((result.trace_id, detail))
+    return signature
+
+
+def fingerprint(framework: "MintFramework", stream: list) -> dict[str, Any]:
+    """Everything the invariance contract promises, in one dict.
+
+    ``stream`` is the driven (timestamp, trace) list — the query sweep
+    covers every trace in it.  Run after ``finalize``; the sweep itself
+    is read-only (no retroactive pull), so fingerprinting does not
+    perturb what it measures.
+    """
+    return {
+        "byte_tables": byte_tables(framework),
+        "meter_series": meter_series(framework),
+        "shard_ledgers": shard_ledger_totals(framework),
+        "query_signature": query_signature(
+            framework, [trace.trace_id for _, trace in stream]
+        ),
+        "stored_trace_ids": sorted(framework.stored_trace_ids()),
+    }
+
+
+def compare_fingerprints(
+    reference: dict[str, Any], candidate: dict[str, Any], label: str = "candidate"
+) -> list[str]:
+    """Diff two fingerprints into violation strings (empty == identical)."""
+    violations: list[str] = []
+    for key, ref_value in reference["byte_tables"].items():
+        got = candidate["byte_tables"].get(key)
+        if got != ref_value:
+            violations.append(f"{label}: {key} {got} != reference {ref_value}")
+    for meter, ref_series in reference["meter_series"].items():
+        if candidate["meter_series"].get(meter) != ref_series:
+            violations.append(f"{label}: {meter} per-minute series diverges")
+    if candidate["shard_ledgers"] != reference["shard_ledgers"]:
+        violations.append(f"{label}: per-shard ledger totals diverge")
+    if candidate["query_signature"] != reference["query_signature"]:
+        diverged = sum(
+            1
+            for ours, theirs in zip(
+                candidate["query_signature"], reference["query_signature"]
+            )
+            if ours != theirs
+        )
+        violations.append(
+            f"{label}: query signature diverges on {diverged} trace(s)"
+        )
+    if candidate["stored_trace_ids"] != reference["stored_trace_ids"]:
+        violations.append(f"{label}: stored trace-id set diverges")
+    return violations

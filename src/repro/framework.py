@@ -95,6 +95,24 @@ class MintFramework(TracingFramework):
             clock=lambda: self._now,
             shard_ledgers=self.shard_ledgers,
         )
+        # The concurrent ingest plane (deployment.workers > 0) moves the
+        # parse/sample hot path onto worker lanes; the framework stays
+        # the single writer — every report still crosses self.transport
+        # here, in sequential order, at the plane's apply barriers.
+        self._plane = None
+        if self.deployment.is_parallel:
+            from repro.concurrent.plane import ParallelIngestPlane
+
+            self._plane = ParallelIngestPlane(
+                backend=self.backend,
+                transport=self.transport,
+                config=self.config,
+                workers=self.deployment.workers,
+                mode=self.deployment.worker_mode,
+                ingest_epoch=self.deployment.ingest_epoch,
+                set_now=self._set_now,
+                sampler_factories=self._extra_factories,
+            )
         if self.deployment.is_elastic:
             if self.deployment.reshard_to is not None:
                 self.name = (
@@ -111,6 +129,14 @@ class MintFramework(TracingFramework):
                 supervisor.bind_clock(self.transport.wire_now)
         elif self.deployment.is_sharded:
             self.name = f"Mint-Sharded({self.deployment.num_shards})"
+        if self.deployment.is_parallel:
+            self.name += (
+                f"+{self.deployment.workers}w-{self.deployment.worker_mode}"
+            )
+
+    def _set_now(self, now: float) -> None:
+        """Clock hook the concurrent plane drives during epoch replay."""
+        self._now = now
 
     # ------------------------------------------------------------------
     # Warm-up (paper Section 3.2.1 offline stage)
@@ -122,6 +148,10 @@ class MintFramework(TracingFramework):
         attribute parsers from its local sample.  Warm-up happens before
         any metering — the paper treats it as an offline bootstrap.
         """
+        if self._plane is not None:
+            self._plane.warm_up(traces)
+            self._warmed_up = True
+            return
         per_node: dict[str, list[Span]] = {}
         for trace in traces:
             for span in trace.spans:
@@ -151,6 +181,11 @@ class MintFramework(TracingFramework):
             self._process_online(trace, self._now)
 
     def _process_online(self, trace: Trace, now: float) -> None:
+        if self._plane is not None:
+            # Notifications and storage syncs run inside the plane's
+            # apply barrier, in this exact per-trace schedule.
+            self._plane.submit(trace, now)
+            return
         sampled_on: list[str] = []
         for sub_trace in trace.sub_traces():
             collector = self._collector_for(sub_trace.node)
@@ -172,8 +207,11 @@ class MintFramework(TracingFramework):
         self._now = now
         if not self._warmed_up and self._warmup_queue:
             self._drain_warmup_queue()
-        for collector in self._collectors.values():
-            collector.flush(now)
+        if self._plane is not None:
+            self._plane.flush_collectors(now)
+        else:
+            for collector in self._collectors.values():
+                collector.flush(now)
         self.transport.drain()
         # Elastic backends replay their parked redelivery queues here —
         # after the wire quiesced (so replays are not interleaved with
@@ -193,6 +231,7 @@ class MintFramework(TracingFramework):
         plans, the OR'd Bloom pre-screen pushed down per batch, and the
         retroactive parameter pull when ``spec.pull_params`` is set.
         """
+        self._quiesce()
         return self.backend.execute(spec)
 
     def query(self, trace_id: str) -> QueryResult:
@@ -201,11 +240,23 @@ class MintFramework(TracingFramework):
         Returns the full :class:`QueryResult` — status plus payloads —
         for any deployment topology.
         """
+        self._quiesce()
         return self.backend.query(trace_id)
 
     def query_many(self, trace_ids: Iterable[str]) -> QueryCursor:
         """Batch lookup over one amortised shard-fanout plan."""
+        self._quiesce()
         return self.backend.query_many(trace_ids)
+
+    def _quiesce(self) -> None:
+        """Apply the concurrent plane's partial epoch before a read.
+
+        Queries mid-run must observe a complete prefix of the ingest
+        stream — exactly what the single-threaded loop guarantees — so
+        a parallel deployment barriers its lanes first.  A no-op
+        everywhere else."""
+        if self._plane is not None:
+            self._plane.quiesce()
 
     def query_full(self, trace_id: str) -> QueryResult:
         """Deprecated alias of :meth:`query`, which now returns the
@@ -214,7 +265,33 @@ class MintFramework(TracingFramework):
         return self.query(trace_id)
 
     def stored_trace_ids(self) -> set[str]:
+        self._quiesce()
         return set(self.backend.storage.params)
+
+    # ------------------------------------------------------------------
+    # Concurrent-plane surface (parallel deployments only)
+    # ------------------------------------------------------------------
+    def pattern_snapshot(self):
+        """The published read-only pattern-plane snapshot, or None.
+
+        Parallel deployments publish an immutable
+        :class:`~repro.concurrent.snapshot.PatternPlaneSnapshot` after
+        every apply barrier; readers on any thread may hold it without
+        locking.  None on single-threaded deployments (read the backend
+        store directly there)."""
+        if self._plane is None:
+            return None
+        return self._plane.pattern_snapshot()
+
+    def close(self) -> None:
+        """Release run resources (worker lanes); idempotent.
+
+        Single-threaded deployments hold nothing, so this is a no-op
+        there; parallel ones stop their lanes.  Harnesses that build
+        many frameworks in a loop must call this (or results stay
+        correct but threads/processes linger until GC)."""
+        if self._plane is not None:
+            self._plane.shutdown()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -303,6 +380,7 @@ class MintFramework(TracingFramework):
         """Per-shard storage tables from the backend."""
         if not self.deployment.is_sharded:
             return []
+        self._quiesce()
         return self.backend.shard_summaries()
 
     def shard_meter_rows(self) -> list[ShardLedgerRow]:

@@ -512,6 +512,15 @@ class SpanPatternLibrary:
         """All patterns in insertion order."""
         return list(self._patterns.values())
 
+    def snapshot(self) -> tuple[str, ...]:
+        """Immutable view of the interned pattern ids, insertion order.
+
+        The cheap identity summary the concurrent plane's introspection
+        and the cross-worker interning property tests compare: ids are
+        content hashes, so equal id tuples mean equal libraries.
+        """
+        return tuple(self._patterns)
+
     def size_bytes(self) -> int:
         """Upload size of the whole library."""
         return encoded_size([self.pattern_dict(pid) for pid in self._patterns])

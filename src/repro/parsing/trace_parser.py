@@ -165,6 +165,14 @@ class TopoPatternLibrary:
         """All patterns in insertion order."""
         return list(self._patterns.values())
 
+    def snapshot(self) -> tuple[str, ...]:
+        """Immutable view of the interned pattern ids, insertion order.
+
+        Content-hashed ids make this a full identity summary — the
+        concurrent plane's worker introspection compares these tuples
+        across lanes without shipping the pattern objects."""
+        return tuple(self._patterns)
+
     def size_bytes(self) -> int:
         """Upload size of the whole library."""
         return encoded_size([p.to_dict() for p in self._patterns.values()])

@@ -3,22 +3,35 @@
 A :class:`Meter` accumulates (timestamp, bytes) events and can render
 them as totals or per-minute series — exactly the MB/min panels of the
 paper's Fig. 11 and Fig. 14.
+
+Meters are thread-safe: ``record`` holds a per-meter lock, so a meter
+charged from several transport workers (the concurrent ingest plane,
+or any future multi-threaded wire) accumulates exactly the bytes it
+was given.  The read side (totals, series) takes the same lock for a
+consistent snapshot.  The lock is uncontended in single-threaded runs
+and costs nothing measurable there — byte charges happen per report,
+not per span.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 
 class Meter:
-    """Accumulates byte counts over simulated time."""
+    """Accumulates byte counts over simulated time (thread-safe)."""
 
     def __init__(self, name: str = "meter") -> None:
         self.name = name
         self._total = 0
         self._events = 0
         self._buckets: dict[int, int] = defaultdict(int)
+        # Accumulation is guarded: += on three fields is not atomic, and
+        # a concurrent worker pool charging one ledger would silently
+        # lose updates without this.
+        self._lock = threading.Lock()
 
     @property
     def total_bytes(self) -> int:
@@ -34,26 +47,42 @@ class Meter:
         """Charge ``nbytes`` at simulated time ``now``."""
         if nbytes < 0:
             raise ValueError("cannot record negative bytes")
-        self._total += nbytes
-        self._events += 1
-        self._buckets[int(now // 60)] += nbytes
+        with self._lock:
+            self._total += nbytes
+            self._events += 1
+            self._buckets[int(now // 60)] += nbytes
 
     def per_minute_series(self) -> list[tuple[int, int]]:
         """(minute index, bytes) pairs, sorted by minute."""
-        return sorted(self._buckets.items())
+        with self._lock:
+            return sorted(self._buckets.items())
 
     def mb_per_minute(self) -> float:
         """Average MB/min over the active minutes."""
-        if not self._buckets:
-            return 0.0
-        minutes = max(self._buckets) - min(self._buckets) + 1
-        return self._total / (1024 * 1024) / minutes
+        with self._lock:
+            if not self._buckets:
+                return 0.0
+            minutes = max(self._buckets) - min(self._buckets) + 1
+            return self._total / (1024 * 1024) / minutes
 
     def reset(self) -> None:
         """Zero the meter."""
-        self._total = 0
-        self._events = 0
-        self._buckets.clear()
+        with self._lock:
+            self._total = 0
+            self._events = 0
+            self._buckets.clear()
+
+    def __getstate__(self) -> dict:
+        """Pickle support: locks do not cross process boundaries."""
+        state = self.__dict__.copy()
+        state["_buckets"] = dict(self._buckets)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._buckets = defaultdict(int, state["_buckets"])
+        self._lock = threading.Lock()
 
 
 class LatencyStats:

@@ -64,10 +64,36 @@ class Deployment:
     elastic: bool = False
     reshard_to: "int | None" = None
     shard_chaos: "ShardChaosProfile | None" = None
+    # Concurrent ingest plane: 0 = the classic single-threaded loop;
+    # N >= 1 fans the parse/sample hot path over N worker lanes
+    # (``worker_mode`` picks threads or processes) with a deterministic
+    # apply barrier every ``ingest_epoch`` traces.  Results are
+    # bit-identical to workers=0 by the concurrent plane's contract.
+    workers: int = 0
+    worker_mode: str = "thread"
+    ingest_epoch: int = 32
 
     def __post_init__(self) -> None:
         if self.num_shards < 0:
             raise ValueError("num_shards must be >= 0")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', got {self.worker_mode!r}"
+            )
+        if self.ingest_epoch <= 0:
+            raise ValueError("ingest_epoch must be a positive trace count")
+        if self.workers > 0 and self.network is not None:
+            raise ValueError(
+                "parallel ingest needs the synchronous in-process wire; "
+                "a simulated network plane cannot be driven by worker lanes yet"
+            )
+        if self.workers > 0 and self.elastic:
+            raise ValueError(
+                "parallel ingest does not compose with elastic topologies yet "
+                "(resharding mutates the fleet the lanes partition over)"
+            )
         if self.elastic and self.num_shards <= 0:
             raise ValueError("an elastic deployment needs at least one shard")
         if (self.reshard_to is not None or self.shard_chaos is not None) and (
@@ -90,18 +116,50 @@ class Deployment:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def single(cls, network: "NetworkDescriptor | None" = None) -> "Deployment":
-        """The reference topology: one backend, one storage engine."""
-        return cls(num_shards=0, network=network)
+    def single(
+        cls,
+        network: "NetworkDescriptor | None" = None,
+        workers: int = 0,
+        worker_mode: str = "thread",
+        ingest_epoch: int = 32,
+    ) -> "Deployment":
+        """The reference topology: one backend, one storage engine.
+
+        ``workers`` runs the ingest hot path on that many worker lanes
+        (``worker_mode``: ``"thread"`` or ``"process"``), bit-identical
+        to the single-threaded loop by contract."""
+        return cls(
+            num_shards=0,
+            network=network,
+            workers=workers,
+            worker_mode=worker_mode,
+            ingest_epoch=ingest_epoch,
+        )
 
     @classmethod
     def sharded(
-        cls, num_shards: int, network: "NetworkDescriptor | None" = None
+        cls,
+        num_shards: int,
+        network: "NetworkDescriptor | None" = None,
+        workers: int = 0,
+        worker_mode: str = "thread",
+        ingest_epoch: int = 32,
     ) -> "Deployment":
-        """N hash-partitioned shards behind the merged view."""
+        """N hash-partitioned shards behind the merged view.
+
+        ``workers`` adds the concurrent ingest plane on top; with
+        ``workers == num_shards`` each shard's producer fleet runs on
+        its own worker lane (hosts hash to lanes with the same stable
+        hash that routes them to shards)."""
         if num_shards <= 0:
             raise ValueError("a sharded deployment needs at least one shard")
-        return cls(num_shards=num_shards, network=network)
+        return cls(
+            num_shards=num_shards,
+            network=network,
+            workers=workers,
+            worker_mode=worker_mode,
+            ingest_epoch=ingest_epoch,
+        )
 
     @classmethod
     def resharded(
@@ -178,6 +236,11 @@ class Deployment:
         return self.elastic
 
     @property
+    def is_parallel(self) -> bool:
+        """True when ingest fans out over the concurrent worker plane."""
+        return self.workers > 0
+
+    @property
     def ledger_count(self) -> int:
         """How many per-shard ledgers the transport should charge.
 
@@ -196,6 +259,8 @@ class Deployment:
             topology = f"elastic-{self.num_shards}-shard"
         if self.shard_chaos is not None and not self.shard_chaos.is_benign:
             topology += f"+shardchaos={self.shard_chaos.name}"
+        if self.is_parallel:
+            topology += f"+{self.workers}w-{self.worker_mode}"
         if self.network is None:
             return topology
         return f"{topology}+{self.network.describe()}"
