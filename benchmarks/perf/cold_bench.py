@@ -1,0 +1,243 @@
+"""Cold-tier measurement: seal transparency and the storage-ratio table.
+
+One cell = one (workload, deployment) pair.  The deterministic stream
+is ingested twice — once into a never-sealed reference, once into a
+twin that compacts mid-stream and again after finalize (so its store
+holds sealed segments from both halves plus a hot tail) — and the
+Fig. 12-style query stream is answered by both:
+
+* **transparency** — every point lookup and one ``query_many`` cursor
+  over the sealed twin must be *bit-identical* to the reference:
+  same status, same reconstructed spans, same approximate segments;
+  and the logical byte tables (fig02/fig11) must not move by a byte.
+  Compression is confined to the physical side of the storage split.
+* **ratio** — after a final full-seal pass, the end-to-end storage
+  ratio ``corpus raw bytes / physical storage bytes`` is tabled
+  against the log-compressor baselines (CLP, LogZip, LogReducer) over
+  the same corpus, alongside the compaction throughput and the
+  trained-dictionary vs plain-codec sealed sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from query_bench import DEFAULT_WARMUP_TRACES, byte_tables, result_signature
+
+from repro.cold import ColdPolicy, CompactionStats
+from repro.cold.blocks import PARAMS_KIND, encode_params_payload
+from repro.compression import (
+    CLPCompressor,
+    LogReducerCompressor,
+    LogZipCompressor,
+    corpus_raw_bytes,
+)
+from repro.framework import MintFramework
+from repro.model.trace import Trace
+from repro.transport import Deployment
+
+DEFAULT_WORKLOADS = ("onlineboutique", "trainticket", "alibaba")
+DEFAULT_DEPLOYMENTS = ("single", "sharded-4")
+#: Hot tail kept through the query sweep so lookups straddle segments.
+KEEP_HOT = 8
+
+
+def cold_deployments() -> dict[str, Deployment]:
+    return {
+        "single": Deployment.single(),
+        "sharded-2": Deployment.sharded(2),
+        "sharded-4": Deployment.sharded(4),
+    }
+
+
+def drive_sealed(
+    deployment: Deployment,
+    stream: list[tuple[float, Trace]],
+    warmup_traces: int,
+) -> tuple[MintFramework, list[CompactionStats]]:
+    """Ingest with a mid-stream compaction plus a straddling tail seal."""
+    framework = MintFramework(
+        deployment=deployment, auto_warmup_traces=warmup_traces
+    )
+    parts: list[CompactionStats] = []
+    midpoint = len(stream) // 2
+    last_now = 0.0
+    for index, (now, trace) in enumerate(stream):
+        if index == midpoint:
+            parts.extend(framework.compact(ColdPolicy()))
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    parts.extend(
+        framework.compact(
+            ColdPolicy(keep_hot_traces=KEEP_HOT, keep_hot_blooms=KEEP_HOT)
+        )
+    )
+    return framework, parts
+
+
+def drive_plain(
+    deployment: Deployment,
+    stream: list[tuple[float, Trace]],
+    warmup_traces: int,
+) -> MintFramework:
+    framework = MintFramework(
+        deployment=deployment, auto_warmup_traces=warmup_traces
+    )
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return framework
+
+
+@dataclass
+class ColdMeasurement:
+    """One (workload, deployment) cell of BENCH_cold.json."""
+
+    workload: str
+    deployment: str
+    queries: int
+    identical: bool
+    logical_bytes: int
+    physical_bytes: int
+    savings_bytes: int
+    end_to_end_ratio: float
+    sealed_ratio: float
+    throughput_mb_s: float
+    compaction: dict[str, Any]
+    cold: dict[str, Any]
+    violations: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "deployment": self.deployment,
+            "queries": self.queries,
+            "identical": self.identical,
+            "logical_bytes": self.logical_bytes,
+            "physical_bytes": self.physical_bytes,
+            "savings_bytes": self.savings_bytes,
+            "end_to_end_ratio": round(self.end_to_end_ratio, 3),
+            "sealed_ratio": round(self.sealed_ratio, 3),
+            "throughput_mb_s": round(self.throughput_mb_s, 3),
+            "compaction": dict(self.compaction),
+            "cold": dict(self.cold),
+            "violations": list(self.violations),
+        }
+
+
+def measure_deployment(
+    workload_name: str,
+    deployment_name: str,
+    deployment_factory,
+    stream: list[tuple[float, Trace]],
+    queries: list[str],
+    warmup_traces: int = DEFAULT_WARMUP_TRACES,
+) -> tuple[ColdMeasurement, MintFramework, dict[str, int], dict[str, int]]:
+    """One transparency + ratio cell.
+
+    Returns the cell, the (fully sealed) framework, and the logical
+    byte tables of the reference and the sealed twin.
+    """
+    violations: list[str] = []
+    reference = drive_plain(deployment_factory(), stream, warmup_traces)
+    sealed, parts = drive_sealed(deployment_factory(), stream, warmup_traces)
+
+    # --- transparency: point lookups across seal boundaries ---
+    for trace_id in queries:
+        want = result_signature(reference.query(trace_id))
+        got = result_signature(sealed.query(trace_id))
+        if got != want:
+            violations.append(
+                f"point lookup diverges across a seal boundary for "
+                f"trace {trace_id}"
+            )
+            break
+
+    # --- transparency: one batch cursor over the whole stream ---
+    want_batch = [result_signature(r) for r in reference.query_many(queries).all()]
+    got_batch = [result_signature(r) for r in sealed.query_many(queries).all()]
+    if got_batch != want_batch:
+        violations.append("query_many diverges across seal boundaries")
+
+    # --- transparency: the logical rulers must not move ---
+    reference_tables = byte_tables(reference)
+    sealed_tables = byte_tables(sealed)
+    if sealed_tables != reference_tables:
+        violations.append(
+            f"logical byte tables moved under sealing "
+            f"({sealed_tables} != {reference_tables})"
+        )
+
+    # --- ratio: final full seal, then the storage split ---
+    parts.extend(sealed.compact(ColdPolicy()))
+    merged = CompactionStats.merge([p for p in parts if p.blocks])
+    logical = sealed.storage_bytes
+    physical = sealed.physical_storage_bytes
+    raw = corpus_raw_bytes([trace for _, trace in stream])
+    cold = sealed.cold_stats()
+
+    measurement = ColdMeasurement(
+        workload=workload_name,
+        deployment=deployment_name,
+        queries=len(queries),
+        identical=not violations,
+        logical_bytes=logical,
+        physical_bytes=physical,
+        savings_bytes=logical - physical,
+        end_to_end_ratio=raw / physical if physical else 0.0,
+        sealed_ratio=merged.ratio,
+        throughput_mb_s=merged.throughput_mb_s,
+        compaction=merged.as_dict(),
+        cold=cold,
+        violations=violations,
+    )
+    return measurement, sealed, reference_tables, sealed_tables
+
+
+def trained_vs_plain(framework: MintFramework) -> dict[str, Any]:
+    """Sealed params bytes with the trained dictionary vs without.
+
+    Decodes every sealed params block, recompresses its canonical
+    payload with the same codec but no dictionary, and compares totals
+    (the trained side carries the dictionary itself, for honesty).
+    """
+    trained = plain = dict_bytes = 0
+    for engine in framework.backend.storage_engines():
+        tier = engine.cold
+        ids = tier.block_ids(PARAMS_KIND)
+        if not ids:
+            continue
+        dict_bytes += tier.dict_bytes
+        for block_id in ids:
+            block = tier.block(block_id)
+            raw = encode_params_payload(tier.decode(block_id))
+            trained += len(block.payload)
+            plain += len(tier.codec.compress(raw))
+    return {
+        "trained_bytes": trained + dict_bytes,
+        "plain_bytes": plain,
+        "dict_bytes": dict_bytes,
+        "improvement": round(plain / (trained + dict_bytes), 3)
+        if trained + dict_bytes
+        else 0.0,
+    }
+
+
+def baseline_ratios(stream: list[tuple[float, Trace]]) -> dict[str, Any]:
+    """CLP/LogZip/LogReducer over the same corpus (Table 4 style)."""
+    traces = [trace for _, trace in stream]
+    out: dict[str, Any] = {"raw_bytes": corpus_raw_bytes(traces)}
+    for compressor in (CLPCompressor(), LogZipCompressor(), LogReducerCompressor()):
+        started = time.perf_counter()
+        result = compressor.compress(traces)
+        out[compressor.name] = {
+            "compressed_bytes": result.compressed_bytes,
+            "ratio": round(result.ratio, 3),
+            "elapsed_seconds": round(time.perf_counter() - started, 6),
+        }
+    return out

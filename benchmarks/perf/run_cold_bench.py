@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Cold-tier benchmark entry point (the PR 8 transparency + ratio gate).
+
+Seals cold segments mid-stream and after finalize, replays the Fig. 12
+query stream against a never-sealed reference on every deployment
+topology, tables the end-to-end storage ratio against the log-
+compressor baselines, and writes ``BENCH_cold.json`` next to this
+file.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_cold_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_cold_bench.py --check   # gates
+    PYTHONPATH=src python benchmarks/perf/run_cold_bench.py --check --traces 160 \
+        --workloads onlineboutique --deployments single sharded-4   # CI smoke shape
+
+``--check`` exits non-zero when any gate fails:
+
+* **transparency** — any point lookup or ``query_many`` answer over
+  the sealed store differs from the never-sealed reference, or a
+  logical byte table moves by a byte (compression must stay confined
+  to the physical side of the storage split), or the logical tables
+  diverge across deployments;
+* **compression** — sealing saved no physical bytes, or the trained
+  dictionary does not beat the same codec without a dictionary on the
+  sealed params blocks;
+* **ratio** — the end-to-end storage ratio (corpus raw bytes over
+  physical storage bytes) falls below the best of CLP, LogZip and
+  LogReducer on any workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from cold_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_DEPLOYMENTS,
+    DEFAULT_WORKLOADS,
+    baseline_ratios,
+    cold_deployments,
+    measure_deployment,
+    trained_vs_plain,
+)
+from query_bench import (  # noqa: E402
+    DEFAULT_TRACES,
+    DEFAULT_WARMUP_TRACES,
+    WORKLOAD_BUILDERS,
+    build_query_stream,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_cold.json"
+)
+
+
+def run(
+    num_traces: int,
+    warmup_traces: int,
+    workloads: list[str],
+    deployment_names: list[str],
+) -> dict:
+    """Measure every (workload, deployment) cell and assemble the report."""
+    deployments = cold_deployments()
+    report: dict = {
+        "benchmark": "cold",
+        "units": {
+            "end_to_end_ratio": "corpus raw bytes / physical storage bytes "
+            "after a full seal (higher is better; the baselines' ratio "
+            "divides the same numerator by their compressed bytes)",
+            "sealed_ratio": "logical store-time charges / compressed block "
+            "bytes over the sealed segments alone",
+            "throughput_mb_s": "logical MB sealed per second of compaction "
+            "wall clock",
+            "trained_vs_plain": "sealed params bytes with the trained "
+            "dictionary (dictionary included) vs the same codec without "
+            "one; improvement > 1.0 means the dictionary pays for itself",
+        },
+        "config": {
+            "traces": num_traces,
+            "warmup_traces": warmup_traces,
+            "deployments": list(deployment_names),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+        "byte_tables": {},
+        "baselines": {},
+        "trained_vs_plain": {},
+    }
+    for name in workloads:
+        stream, queries = build_query_stream(name, num_traces)
+        report["baselines"][name] = baseline_ratios(stream)
+        cells: dict = {}
+        tables: dict = {}
+        for depl_name in deployment_names:
+            measurement, framework, _, sealed_tables = measure_deployment(
+                name,
+                depl_name,
+                lambda depl_name=depl_name: deployments[depl_name],
+                stream,
+                queries,
+                warmup_traces=warmup_traces,
+            )
+            cells[depl_name] = measurement.as_dict()
+            tables[depl_name] = sealed_tables
+            if depl_name == deployment_names[0]:
+                report["trained_vs_plain"][name] = trained_vs_plain(framework)
+            print(
+                f"{name:16s} {depl_name:12s} "
+                f"ratio: {measurement.end_to_end_ratio:>7.2f}x  "
+                f"sealed: {measurement.sealed_ratio:>5.2f}x  "
+                f"compaction: {measurement.throughput_mb_s:>6.2f} MB/s"
+                + ("" if measurement.identical else "  IDENTITY-VIOLATION")
+            )
+        report["workloads"][name] = cells
+        report["byte_tables"][name] = tables
+    return report
+
+
+def check(report: dict) -> list[str]:
+    """Apply the gates to an assembled report."""
+    failures: list[str] = []
+    for workload, cells in report["workloads"].items():
+        best_baseline = max(
+            entry["ratio"]
+            for key, entry in report["baselines"][workload].items()
+            if isinstance(entry, dict)
+        )
+        reference_tables = None
+        for depl_name, cell in cells.items():
+            label = f"{workload} {depl_name}"
+            if not cell["identical"]:
+                failures.append(f"{label}: {'; '.join(cell['violations'])}")
+            if cell["savings_bytes"] <= 0:
+                failures.append(
+                    f"{label}: sealing saved no physical bytes "
+                    f"({cell['physical_bytes']} physical vs "
+                    f"{cell['logical_bytes']} logical)"
+                )
+            if cell["end_to_end_ratio"] < best_baseline:
+                failures.append(
+                    f"{label}: end-to-end ratio {cell['end_to_end_ratio']:.2f}x "
+                    f"below the best log-compressor baseline "
+                    f"({best_baseline:.2f}x)"
+                )
+            tables = report["byte_tables"][workload][depl_name]
+            if reference_tables is None:
+                reference_tables = tables
+            elif tables != reference_tables:
+                failures.append(
+                    f"{label}: logical byte tables diverge across "
+                    f"deployments ({tables} != {reference_tables})"
+                )
+        trained = report["trained_vs_plain"][workload]
+        if trained["trained_bytes"] >= trained["plain_bytes"]:
+            failures.append(
+                f"{workload}: trained dictionary did not beat the plain "
+                f"codec ({trained['trained_bytes']} vs "
+                f"{trained['plain_bytes']} bytes)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--warmup-traces", type=int, default=DEFAULT_WARMUP_TRACES)
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_WORKLOADS),
+        choices=list(WORKLOAD_BUILDERS),
+    )
+    parser.add_argument(
+        "--deployments",
+        nargs="+",
+        default=list(DEFAULT_DEPLOYMENTS),
+        choices=list(cold_deployments()),
+        help="deployment topologies to sweep",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on transparency/compression/ratio violations",
+    )
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.traces,
+        args.warmup_traces,
+        args.workloads,
+        args.deployments,
+    )
+
+    failures = check(report) if args.check else []
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nGATE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    if args.check:
+        print("all cold-tier gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

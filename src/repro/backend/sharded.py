@@ -385,6 +385,30 @@ class MergedStorageView:
         """
         return sum(shard.pattern_bytes for shard in self.shards) - self._pattern_bytes
 
+    def cold_savings_bytes(self) -> int:
+        """Cold-tier savings across shards (derived, like
+        :meth:`replicated_pattern_bytes` — never part of the ruler)."""
+        return sum(shard.cold_savings_bytes() for shard in self.shards)
+
+    def physical_storage_bytes(self) -> int:
+        """The merged physical split: the logical ruler minus every
+        shard's cold-tier savings.  Identical to :meth:`storage_bytes`
+        while nothing is sealed."""
+        return self.storage_bytes() - self.cold_savings_bytes()
+
+    def cold_stats(self) -> dict[str, Any]:
+        """Summed per-shard cold-tier counters (codec from shard 0)."""
+        merged: dict[str, Any] = {}
+        for shard in self.shards:
+            for key, value in shard.cold_stats().items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+                elif key not in merged:
+                    merged[key] = value
+        merged["logical_storage_bytes"] = self.storage_bytes()
+        merged["physical_storage_bytes"] = self.physical_storage_bytes()
+        return merged
+
 
 class ShardedQuerier(Querier):
     """Fans a trace query across every shard and merges the answers.

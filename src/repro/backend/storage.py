@@ -14,6 +14,14 @@ from typing import Any
 
 from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport
 from repro.bloom.bloom_filter import BloomFilter, sized_for_bytes
+from repro.cold.blocks import (
+    BLOOM_KIND,
+    PARAMS_KIND,
+    ColdTier,
+    encode_bloom_payload,
+    encode_params_payload,
+)
+from repro.cold.store import TieredBlooms, TieredParams
 from repro.model.encoding import encoded_size
 from repro.parsing.span_parser import SpanPattern
 from repro.parsing.trace_parser import TopoPattern
@@ -29,7 +37,15 @@ class StoredBloom:
 
 
 class StorageEngine:
-    """In-memory storage engine with strict byte accounting."""
+    """In-memory storage engine with strict byte accounting.
+
+    Storage is tiered: ``params`` and ``blooms`` are tiered containers
+    whose cold side is the engine's :class:`~repro.cold.blocks.ColdTier`
+    of sealed, dictionary-compressed blocks.  Sealing never moves the
+    logical byte counters — ``storage_bytes`` stays the one fig11
+    ruler — while :meth:`physical_storage_bytes` reports what the
+    compressed store actually holds.
+    """
 
     def __init__(self, bloom_buffer_bytes: int = 4096, bloom_fpp: float = 0.01) -> None:
         self.bloom_buffer_bytes = bloom_buffer_bytes
@@ -37,9 +53,10 @@ class StorageEngine:
         self.span_patterns: dict[str, SpanPattern] = {}
         self.numeric_ranges: dict[str, dict[str, tuple[float, float]]] = {}
         self.topo_patterns: dict[str, TopoPattern] = {}
-        self.blooms: list[StoredBloom] = []
+        self.cold = ColdTier()
+        self.blooms: TieredBlooms = TieredBlooms(self.cold)
         # trace_id -> compact param records (see ParsedSpan.compact_record)
-        self.params: dict[str, list[list[Any]]] = {}
+        self.params: TieredParams = TieredParams(self.cold)
         self.sampled_trace_ids: set[str] = set()
         self._pattern_bytes = 0
         self._bloom_bytes = 0
@@ -123,21 +140,24 @@ class StorageEngine:
         sampled-id mark (the destination's store re-adds it).
         Patterns stay: they are content-addressed and resolve through
         the merged fan-out from any shard.
+
+        Sealed segments are handled segment-granularly: every cold
+        block holding any of the host's state is promoted (unsealed)
+        first — blocks provably without the host stay sealed and are
+        skipped — so the eviction below always moves hot objects and
+        the counter decrements stay exactly the store-time charges.
         """
-        moved_blooms = [b for b in self.blooms if b.node == host]
-        if moved_blooms:
-            self.blooms = [b for b in self.blooms if b.node != host]
-            for stored in moved_blooms:
-                header = encoded_size(
-                    {
-                        "node": stored.node,
-                        "topo_pattern_id": stored.topo_pattern_id,
-                        "inserted": stored.filter.inserted,
-                    }
-                )
-                self._bloom_bytes -= header + len(stored.filter.to_bytes())
+        self.params.promote_host(host)
+        self.blooms.promote_host(host)
+        moved_blooms = self.blooms.remove_node(host)
+        for stored in moved_blooms:
+            self._bloom_bytes -= self._stored_bloom_charge(stored)
         moved_params: dict[str, list[list[Any]]] = {}
         for trace_id in list(self.params):
+            if self.params.is_sealed(trace_id):
+                # Still-sealed buckets live in blocks whose host set
+                # excluded ``host`` — nothing of theirs is moving.
+                continue
             bucket = self.params[trace_id]
             moving = [record for record in bucket if record[2] == host]
             if not moving:
@@ -154,6 +174,60 @@ class StorageEngine:
         return moved_blooms, moved_params
 
     # ------------------------------------------------------------------
+    # Cold tier (sealing surface; selection lives in repro.cold.compactor)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stored_bloom_charge(stored: StoredBloom) -> int:
+        """The exact bytes a stored filter was charged at store time
+        (the one formula eviction and sealing both decrement/carry)."""
+        header = encoded_size(
+            {
+                "node": stored.node,
+                "topo_pattern_id": stored.topo_pattern_id,
+                "inserted": stored.filter.inserted,
+            }
+        )
+        return header + len(stored.filter.to_bytes())
+
+    def seal_params_block(self, items: list[tuple[str, list[list[Any]]]]) -> int:
+        """Seal hot params buckets into one compressed block.
+
+        Logical counters do not move — the block carries the buckets'
+        exact store-time charges so unsealing (and eviction through
+        promotion) conserves every byte table bit for bit.
+        """
+        buckets = dict(items)
+        raw = encode_params_payload(buckets)
+        logical = sum(
+            encoded_size(record) for bucket in buckets.values() for record in bucket
+        )
+        hosts = frozenset(
+            record[2] for bucket in buckets.values() for record in bucket
+        )
+        block_id = self.cold.seal(
+            PARAMS_KIND, raw, logical, hosts, tuple(buckets), with_dictionary=True
+        )
+        self.params.seal(list(buckets), block_id)
+        return block_id
+
+    def seal_bloom_block(self, positions: list[int]) -> int:
+        """Seal stored Bloom filters (by position) into one block.
+
+        Bit arrays are high-entropy, so the block skips the trained
+        dictionary; node/pattern/inserted metadata stays hot on the
+        sealed refs for placement checks and eviction scans.
+        """
+        entries = self.blooms.entries_at(positions)
+        raw = encode_bloom_payload(entries)
+        logical = sum(self._stored_bloom_charge(stored) for stored in entries)
+        hosts = frozenset(stored.node for stored in entries)
+        block_id = self.cold.seal(
+            BLOOM_KIND, raw, logical, hosts, (len(entries),), with_dictionary=False
+        )
+        self.blooms.seal(positions, block_id)
+        return block_id
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def patterns_matching_trace(self, trace_id: str) -> list[StoredBloom]:
@@ -161,7 +235,12 @@ class StorageEngine:
         return [b for b in self.blooms if trace_id in b.filter]
 
     def has_params(self, trace_id: str) -> bool:
-        """True when the exact parameters of the trace are stored."""
+        """True when the exact parameters of the trace are stored.
+
+        Sealed buckets answer from hot metadata (only non-empty buckets
+        are ever sealed), so the common probe never decodes a block."""
+        if self.params.is_sealed(trace_id):
+            return True
         return bool(self.params.get(trace_id))
 
     # ------------------------------------------------------------------
@@ -183,5 +262,32 @@ class StorageEngine:
         return self._params_bytes
 
     def storage_bytes(self) -> int:
-        """Total persisted bytes — the Fig. 11 storage metric."""
+        """Total persisted bytes — the Fig. 11 storage metric.
+
+        This is the *logical* figure: sealing segments into compressed
+        cold blocks never moves it (the one-ruler contract).  The
+        compressed reality is :meth:`physical_storage_bytes`."""
         return self._pattern_bytes + self._bloom_bytes + self._params_bytes
+
+    def cold_savings_bytes(self) -> int:
+        """Logical bytes saved by the cold tier (sealed store-time
+        charges minus compressed block + dictionary bytes).  Zero while
+        nothing is sealed; honest (possibly negative) on degenerate
+        tiny corpora."""
+        return self.cold.savings_bytes()
+
+    def physical_storage_bytes(self) -> int:
+        """What the store physically holds: the logical ruler minus the
+        cold tier's savings — hot state at its charged size, sealed
+        segments at their compressed size (plus the shared trained
+        dictionary)."""
+        return self.storage_bytes() - self.cold_savings_bytes()
+
+    def cold_stats(self) -> dict[str, Any]:
+        """Cold-tier counters plus the tiering split, for panels."""
+        stats = self.cold.stats()
+        stats["sealed_params_traces"] = self.params.sealed_count()
+        stats["sealed_bloom_filters"] = self.blooms.sealed_count()
+        stats["logical_storage_bytes"] = self.storage_bytes()
+        stats["physical_storage_bytes"] = self.physical_storage_bytes()
+        return stats

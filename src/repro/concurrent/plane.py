@@ -29,11 +29,16 @@ determinism argument:
   the read-mostly pattern plane is served RCU-style, never locked.
 
 Bit-identity with the sequential run therefore holds at any worker
-count, in both lane modes, provided only that a params buffer does not
-overflow *within* one epoch (sequential eviction happens per trace;
-the plane evicts at the barrier).  The default 4 MB buffers hold
-hundreds of epochs of gate workloads, and the invariance gate in
-``run_concurrent_bench.py --check`` pins the guarantee empirically.
+count, in both lane modes.  The one bound — a params buffer must not
+overflow *within* one epoch (sequential mark round-trips free buffer
+space mid-epoch; the lanes only free it at the barrier) — is enforced,
+not assumed: every barrier reply carries the lanes' buffer-eviction
+deltas, and an in-epoch eviction raises a deterministic
+:class:`~repro.concurrent.lanes.LaneError` naming the lane, epoch and
+buffered bytes instead of letting the run silently diverge.  The
+default 4 MB buffers hold hundreds of epochs of gate workloads, and
+the invariance gate in ``run_concurrent_bench.py --check`` pins the
+guarantee empirically.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.agent.reports import PatternLibraryReport, Report
 from repro.backend.sharded import shard_for_key
-from repro.concurrent.lanes import DEFAULT_QUEUE_BOUND, make_lane
+from repro.concurrent.lanes import DEFAULT_QUEUE_BOUND, LaneError, make_lane
 from repro.concurrent.snapshot import PatternPlaneSnapshot
 from repro.concurrent.worker import SamplerFactory, Stamp
 
@@ -232,10 +237,34 @@ class ParallelIngestPlane:
             lane.post(("barrier",))
         reports: list[tuple[Stamp, Report]] = []
         sampled: list[tuple[int, int, str, str]] = []
-        for lane in self._lanes:
+        overflows: list[tuple[int, dict]] = []
+        for index, lane in enumerate(self._lanes):
             reply = lane.collect()
             reports.extend(reply[1])
             sampled.extend(reply[2])
+            if len(reply) > 3 and reply[3]:
+                overflows.extend((index, info) for info in reply[3])
+        if overflows:
+            # Fail before any replay: a lane evicted params-buffer
+            # blocks *within* this epoch, which a sequential run may
+            # have kept (its mid-epoch mark round-trips free buffer
+            # space the lanes only free at this barrier).  Applying the
+            # epoch could silently diverge from the workers=0 run, so
+            # the bound is enforced loudly and deterministically — the
+            # trigger is a pure function of the stream and config.
+            detail = "; ".join(
+                f"lane {index} node {info['node']}: evicted "
+                f"{info['evicted_blocks']} block(s) / {info['evicted_bytes']} "
+                f"bytes with {info['buffered_bytes']} of "
+                f"{info['capacity_bytes']} bytes still buffered"
+                for index, info in overflows
+            )
+            raise LaneError(
+                f"params buffer overflowed within ingest epoch "
+                f"{self._epochs_applied}: {detail}. Raise "
+                f"MintConfig.params_buffer_bytes or lower "
+                f"Deployment.ingest_epoch so one epoch's parameters fit."
+            )
         reports.sort(key=lambda item: item[0])
         sampled.sort(key=lambda item: (item[0], item[1]))
         reports_by_seq: dict[int, list[tuple[Stamp, Report]]] = defaultdict(list)

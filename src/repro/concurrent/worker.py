@@ -18,8 +18,10 @@ Command protocol (tuples; first element is the op):
                                 ``(node, spans)`` pairs
 ``("ops", items)``              ingest batch; items are
                                 ``(seq, sub_idx, now, sub_trace)``
-``("barrier",)``                reply ``("phase1", reports, sampled)``
-                                and reset the accumulators
+``("barrier",)``                reply ``("phase1", reports, sampled,
+                                overflows)`` and reset the accumulators;
+                                ``overflows`` reports any params-buffer
+                                eviction since the previous barrier
 ``("mark", items)``             backend-initiated sampling marks;
                                 items are ``(order, node, trace_id)``;
                                 reply ``("reports", reports)``
@@ -111,6 +113,11 @@ class AgentWorkerState:
         # Accumulated between barriers.
         self._phase_reports: list[tuple[Stamp, Report]] = []
         self._phase_sampled: list[tuple[int, int, str, str]] = []
+        # Per-node params-buffer eviction counters at the last barrier:
+        # a delta within an epoch is the determinism hazard the plane
+        # must fail loudly on (see _params_overflows).
+        self._evicted_blocks_seen: dict[str, int] = {}
+        self._evicted_bytes_seen: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Fleet
@@ -158,7 +165,37 @@ class AgentWorkerState:
     def _cmd_barrier(self) -> tuple:
         reports, self._phase_reports = self._phase_reports, []
         sampled, self._phase_sampled = self._phase_sampled, []
-        return ("phase1", reports, sampled)
+        return ("phase1", reports, sampled, self._params_overflows())
+
+    def _params_overflows(self) -> list[dict]:
+        """Params-buffer evictions since the previous barrier.
+
+        A sequential run uploads a sampled trace's params on the
+        backend's mid-epoch ``mark_sampled`` round-trip, freeing buffer
+        space; a lane defers every mark to the apply barrier — so an
+        in-epoch eviction here can drop records the sequential run
+        would have kept, silently breaking bit-identity.  The plane
+        turns any reported delta into a :class:`LaneError` naming the
+        lane, epoch and buffered bytes.
+        """
+        out: list[dict] = []
+        for node, collector in self._collectors.items():
+            buffer = collector.agent.params_buffer
+            blocks_before = self._evicted_blocks_seen.get(node, 0)
+            if buffer.evicted_blocks > blocks_before:
+                out.append(
+                    {
+                        "node": node,
+                        "evicted_blocks": buffer.evicted_blocks - blocks_before,
+                        "evicted_bytes": buffer.evicted_bytes
+                        - self._evicted_bytes_seen.get(node, 0),
+                        "buffered_bytes": buffer.used_bytes,
+                        "capacity_bytes": buffer.capacity_bytes,
+                    }
+                )
+            self._evicted_blocks_seen[node] = buffer.evicted_blocks
+            self._evicted_bytes_seen[node] = buffer.evicted_bytes
+        return out
 
     def _cmd_mark(self, items: list[tuple[int, str, str]]) -> tuple:
         out: list[tuple[Stamp, Report]] = []

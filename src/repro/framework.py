@@ -344,6 +344,39 @@ class MintFramework(TracingFramework):
         return self.transport.stats_summary()
 
     # ------------------------------------------------------------------
+    # Cold tier (tiered storage)
+    # ------------------------------------------------------------------
+    def compact(self, policy=None, now: float | None = None):
+        """Seal cold storage segments into compressed blocks.
+
+        Runs one :func:`~repro.cold.compactor.compact_engine` pass per
+        backend engine (per shard when sharded) under ``policy``
+        (default :class:`~repro.cold.ColdPolicy`), then syncs storage
+        so the physical meter sees the new split.  Safe at any point of
+        a run: queries read through seal boundaries and the logical
+        byte tables never move.  Returns the per-engine
+        :class:`~repro.cold.CompactionStats`.
+        """
+        if now is None:
+            now = self._now
+        self._quiesce()
+        stats = self.backend.compact_cold(policy, now=now)
+        self.transport.sync_storage()
+        return stats
+
+    @property
+    def physical_storage_bytes(self) -> int:
+        """The physical side of the storage split: hot bytes at their
+        charged size plus sealed blocks at their compressed size.
+        Equals the logical ``storage_bytes`` until a compaction runs."""
+        return self.backend.physical_storage_bytes()
+
+    def cold_stats(self) -> dict:
+        """Cold-tier counters (codec, blocks, sealed/physical bytes)."""
+        self._quiesce()
+        return self.backend.cold_stats()
+
+    # ------------------------------------------------------------------
     # Elastic operations (elastic deployments only)
     # ------------------------------------------------------------------
     def reshard(self, to_shards: int | None = None):

@@ -227,8 +227,43 @@ class BackendPlane(abc.ABC):
         return self.querier.query(trace_id)
 
     # ------------------------------------------------------------------
+    # Cold tier
+    # ------------------------------------------------------------------
+    def storage_engines(self) -> list["StorageEngine"]:
+        """The concrete per-shard engines behind this plane (one for
+        the single backend) — what compaction and cold panels fan over."""
+        shards = getattr(self, "shards", None)
+        if shards is not None:
+            return list(shards)
+        return [self.storage]
+
+    def compact_cold(self, policy=None, now: float = 0.0) -> list:
+        """Seal cold segments on every engine; one stats row per engine.
+
+        Queries keep reading through the seal boundaries; the logical
+        byte tables never move (the cold tier's ruler-split contract).
+        """
+        from repro.cold.compactor import compact_engine
+
+        return [
+            compact_engine(engine, policy, now=now)
+            for engine in self.storage_engines()
+        ]
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:
-        """Total persisted bytes (merged/deduplicated when sharded)."""
+        """Total persisted bytes (merged/deduplicated when sharded).
+
+        The logical fig11 ruler — invariant under cold-tier sealing."""
         return self.storage.storage_bytes()
+
+    def physical_storage_bytes(self) -> int:
+        """The physical side of the storage split: logical minus the
+        cold tier's compression savings across engines."""
+        return self.storage.physical_storage_bytes()
+
+    def cold_stats(self) -> dict:
+        """Cold-tier counters (summed across shards when sharded)."""
+        return self.storage.cold_stats()

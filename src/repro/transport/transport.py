@@ -52,6 +52,13 @@ class Transport(Protocol):
     # invariant — the same separation discipline as ``retransmit``.
     migration: Meter
 
+    # Growth of the backend's *physical* storage figure (hot bytes at
+    # their charged size plus sealed cold blocks at their compressed
+    # size).  Separate from the ledger's storage meter — which stays
+    # the logical fig11 ruler — so cold-tier compression can never
+    # perturb the byte tables it is measured against.
+    physical_storage: Meter
+
     def deliver(self, report: "Report") -> None:
         """Ship one report to the backend, metering its wire size."""
 
@@ -113,6 +120,9 @@ class LocalTransport:
         # Reshard traffic is metered separately even in-process: moving
         # a host's state is real work whatever the wire.
         self.migration = Meter("migration")
+        # The physical side of the storage split (see sync_storage).
+        self.physical_storage = Meter("physical_storage")
+        self._last_physical_storage = 0
         if backend.notify_meter is None:
             backend.notify_meter = self.notify
 
@@ -200,6 +210,17 @@ class LocalTransport:
         if current > self._last_storage:
             self.ledger.storage.record(current - self._last_storage, now)
             self._last_storage = current
+        # The physical split rides the same seam: monotonic growth of
+        # what the store compressedly holds.  Compaction *shrinks* the
+        # figure — the meter keeps its high-water mark and the live
+        # value is read from the backend — so the ledger's logical
+        # storage meter and byte tables never see the cold tier at all.
+        physical = self.backend.physical_storage_bytes()
+        if physical > self._last_physical_storage:
+            self.physical_storage.record(
+                physical - self._last_physical_storage, now
+            )
+            self._last_physical_storage = physical
         if self.shard_ledgers:
             for i, shard in enumerate(self.backend.shards):
                 ledger = self._shard_ledger(i)
