@@ -1,0 +1,243 @@
+"""Observability-plane measurement: identity, overhead, detection panel.
+
+Three claims the obs PR makes, each measured end to end:
+
+* **identity** — observation changes nothing it observes.  The same
+  deterministic stream is driven through obs-on and obs-off builds of
+  each topology; the logical byte tables, the per-minute meter series
+  and the full query signature must match bit for bit.  The
+  instrumentation reads clocks and counts events — it never pumps the
+  event scheduler — so any divergence is a seam violation, not noise.
+* **overhead** — the full metrics registry is cheap enough to leave on.
+  Best-of-N wall-clock repeats of the identical stream, obs-on over
+  obs-off, on the single-backend build (the configuration with the
+  least non-instrumentation work to hide behind).
+* **detection panel** — the plane answers the question it exists for:
+  how long from fault injection to the RCA suite naming the faulty
+  service, per topology x chaos profile (the fig15-style panel, via
+  :mod:`repro.sim.incident`).
+
+Two obs-on runs of the same seeded stream must also produce identical
+*deterministic* reports (wall durations stripped, counts kept) — the
+replayability contract the test suite pins per component and this
+bench pins end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from sharded_bench import (
+    WORKLOAD_BUILDERS,
+    best_of,
+    build_stream,
+    byte_tables,
+    query_signature,
+)
+
+from repro.framework import MintFramework
+from repro.net.transport import CHAOS_WIRE
+from repro.obs import deterministic_report
+from repro.sim.incident import (
+    DEFAULT_PROFILES,
+    DEFAULT_TOPOLOGIES,
+    detection_latency_panel,
+)
+from repro.transport import Deployment
+
+__all__ = [
+    "DEFAULT_PANEL_PROFILES",
+    "DEFAULT_PANEL_TOPOLOGIES",
+    "DEFAULT_REPEATS",
+    "DEFAULT_TOPOLOGY_NAMES",
+    "DEFAULT_TRACES",
+    "IdentityCell",
+    "WORKLOAD_BUILDERS",
+    "identity_sweep",
+    "measure_overhead",
+    "obs_topologies",
+    "run_panel",
+]
+
+DEFAULT_TRACES = 400
+DEFAULT_REPEATS = 3
+#: The identity sweep's topologies: plain single, sharded, and single
+#: behind a batching wire (lossless — the wire whose obs-on/off
+#: equivalence must be exact; lossy wires are covered by the panel).
+DEFAULT_TOPOLOGY_NAMES = ("single", "sharded-2", "net-lossless")
+DEFAULT_PANEL_TOPOLOGIES = DEFAULT_TOPOLOGIES
+DEFAULT_PANEL_PROFILES = DEFAULT_PROFILES
+
+
+def obs_topologies() -> dict[str, Any]:
+    """Deployment factories for the identity sweep, parameterised on
+    the observability switch."""
+    return {
+        "single": lambda obs: Deployment.single(observability=obs),
+        "sharded-2": lambda obs: Deployment.sharded(2, observability=obs),
+        "net-lossless": lambda obs: Deployment.single(
+            network=CHAOS_WIRE, observability=obs
+        ),
+    }
+
+
+@dataclass
+class IdentityCell:
+    """One topology's obs-on vs obs-off comparison."""
+
+    topology: str
+    identical: bool
+    deterministic_replay: bool
+    violations: list[str] = field(default_factory=list)
+    byte_tables: dict[str, int] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "identical": self.identical,
+            "deterministic_replay": self.deterministic_replay,
+            "violations": list(self.violations),
+            "byte_tables": dict(self.byte_tables),
+            "counters": dict(self.counters),
+        }
+
+
+def _meter_series(framework: MintFramework) -> dict[str, list[tuple[int, int]]]:
+    ledger = framework.ledger
+    return {
+        "network_per_minute": list(ledger.network.per_minute_series()),
+        "storage_per_minute": list(ledger.storage.per_minute_series()),
+    }
+
+
+def _counter_summary(framework: MintFramework) -> dict[str, int]:
+    """The obs-on run's counters, flattened for the report."""
+    snapshot = framework.observer.snapshot(deterministic=True)
+    return dict(snapshot["counters"])
+
+
+def _drive_fresh(deployment_factory, obs: bool, stream) -> MintFramework:
+    framework = MintFramework(deployment=deployment_factory(obs))
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return framework
+
+
+def identity_cell(name: str, deployment_factory, stream) -> IdentityCell:
+    """Drive obs-on, obs-off and an obs-on replay; compare everything.
+
+    The obs-on/off comparison is the no-perturbation gate; the obs-on
+    replay pins the deterministic report (two identical seeded runs,
+    bit-identical sim-domain snapshots).
+    """
+    on = _drive_fresh(deployment_factory, True, stream)
+    off = _drive_fresh(deployment_factory, False, stream)
+    replay = _drive_fresh(deployment_factory, True, stream)
+    # Snapshot the replay pair *before* the signature sweep below runs
+    # queries against ``on`` — queries are themselves observed (query
+    # counters, plan totals), so a post-sweep snapshot of ``on`` would
+    # compare a queried run against an unqueried one.
+    deterministic_replay = deterministic_report(on) == deterministic_report(replay)
+
+    violations: list[str] = []
+    tables_on, tables_off = byte_tables(on), byte_tables(off)
+    for key, value in tables_on.items():
+        if value != tables_off[key]:
+            violations.append(f"{key}: obs-on {value} != obs-off {tables_off[key]}")
+    if _meter_series(on) != _meter_series(off):
+        violations.append("per-minute meter series diverge between obs-on and obs-off")
+    if query_signature(on, stream) != query_signature(off, stream):
+        violations.append("query signatures diverge between obs-on and obs-off")
+    if not deterministic_replay:
+        violations.append(
+            "two identical obs-on runs produced different deterministic reports"
+        )
+    cell = IdentityCell(
+        topology=name,
+        identical=not violations,
+        deterministic_replay=deterministic_replay,
+        violations=violations,
+        byte_tables=tables_on,
+        counters=_counter_summary(on),
+    )
+    on.close()
+    off.close()
+    replay.close()
+    return cell
+
+
+def identity_sweep(
+    stream, topology_names=DEFAULT_TOPOLOGY_NAMES
+) -> list[IdentityCell]:
+    """The full obs-on == obs-off sweep over the identity topologies."""
+    factories = obs_topologies()
+    return [
+        identity_cell(name, factories[name], stream) for name in topology_names
+    ]
+
+
+def measure_overhead(stream, repeats: int = DEFAULT_REPEATS) -> dict[str, Any]:
+    """Wall-clock cost of leaving the full registry on.
+
+    Best-of-``repeats`` with a fresh framework per repeat, obs-off
+    first.  Measured on the plain single-backend build: no wire, no
+    shards — the configuration where instrumentation is the largest
+    fraction of the work, so the ratio is the conservative one.
+    """
+    span_count = sum(len(trace.spans) for _, trace in stream)
+    off_elapsed, _ = best_of(
+        lambda: MintFramework(deployment=Deployment.single(observability=False)),
+        stream,
+        repeats,
+    )
+    on_elapsed, on_framework = best_of(
+        lambda: MintFramework(deployment=Deployment.single(observability=True)),
+        stream,
+        repeats,
+    )
+    instruments = (
+        len(list(on_framework.observer.registry.instruments()))
+        if on_framework.observer.registry is not None
+        else 0
+    )
+    return {
+        "traces": len(stream),
+        "spans": span_count,
+        "repeats": repeats,
+        "obs_off_seconds": round(off_elapsed, 6),
+        "obs_on_seconds": round(on_elapsed, 6),
+        "overhead_ratio": round(on_elapsed / off_elapsed, 4) if off_elapsed else 0.0,
+        "obs_on_spans_per_sec": round(span_count / on_elapsed, 1) if on_elapsed else 0.0,
+        "live_instruments": instruments,
+    }
+
+
+def run_panel(
+    workload_name: str,
+    topologies=DEFAULT_PANEL_TOPOLOGIES,
+    profiles=DEFAULT_PANEL_PROFILES,
+    num_traces: int = 240,
+    seed: int = 11,
+) -> list[dict[str, Any]]:
+    """The detection-latency panel, as report-ready dicts."""
+    return [
+        cell.as_dict()
+        for cell in detection_latency_panel(
+            workload_name=workload_name,
+            topologies=tuple(topologies),
+            profiles=tuple(profiles),
+            num_traces=num_traces,
+            seed=seed,
+        )
+    ]
+
+
+def build_obs_stream(workload_name: str, num_traces: int, seed: int = 17):
+    """The identity/overhead stream (same generator as the sharded
+    bench, so obs numbers are comparable to that suite's)."""
+    return build_stream(workload_name, num_traces, seed=seed)

@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Observability benchmark entry point (the PR 9 identity + panel gate).
+
+Drives the identical deterministic stream through obs-on and obs-off
+builds of every identity topology, wall-clocks the registry's cost,
+runs the fault-injected -> RCA-flagged detection-latency panel, and
+writes ``BENCH_obs.json`` next to this file.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_obs_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_obs_bench.py --check   # gates
+    PYTHONPATH=src python benchmarks/perf/run_obs_bench.py --check --traces 200 \
+        --panel-traces 200 --panel-profiles lossless drop          # CI smoke shape
+
+``--check`` exits non-zero when any gate fails:
+
+* **identity** — any logical byte table, per-minute meter series or
+  query signature differs between the obs-on and obs-off run of any
+  topology (single, sharded, behind a lossless wire), or two identical
+  obs-on runs disagree on the deterministic report;
+* **overhead** — the full registry costs more than ``--max-overhead``
+  (default 1.05x) over the obs-off build, best-of-``--repeats``;
+* **panel** — the detection-latency panel covers fewer than two
+  topologies or two chaos profiles, or any cell fails to detect the
+  injected fault.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from obs_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_PANEL_PROFILES,
+    DEFAULT_PANEL_TOPOLOGIES,
+    DEFAULT_REPEATS,
+    DEFAULT_TOPOLOGY_NAMES,
+    DEFAULT_TRACES,
+    WORKLOAD_BUILDERS,
+    build_obs_stream,
+    identity_sweep,
+    measure_overhead,
+    run_panel,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_obs.json"
+)
+
+DEFAULT_MAX_OVERHEAD = 1.05
+
+
+def run(args: argparse.Namespace) -> dict:
+    """Assemble the full BENCH_obs report."""
+    report: dict = {
+        "benchmark": "obs",
+        "units": {
+            "overhead_ratio": "obs-on wall seconds / obs-off wall seconds "
+            "over the identical stream (best-of-repeats, fresh framework "
+            "per repeat); 1.0 means observation is free",
+            "detection_latency_s": "simulated seconds from the first "
+            "faulty trace entering the system to the first probe whose "
+            "RCA top-1 names the target service",
+        },
+        "config": {
+            "workload": args.workload,
+            "traces": args.traces,
+            "repeats": args.repeats,
+            "topologies": list(args.topologies),
+            "panel_topologies": list(args.panel_topologies),
+            "panel_profiles": list(args.panel_profiles),
+            "panel_traces": args.panel_traces,
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "identity": {},
+        "overhead": {},
+        "panel": [],
+    }
+
+    stream = build_obs_stream(args.workload, args.traces)
+    for cell in identity_sweep(stream, tuple(args.topologies)):
+        report["identity"][cell.topology] = cell.as_dict()
+        print(
+            f"identity {cell.topology:12s} "
+            + ("bit-identical" if cell.identical else "VIOLATION: "
+               + "; ".join(cell.violations))
+        )
+
+    overhead = measure_overhead(stream, repeats=args.repeats)
+    report["overhead"] = overhead
+    print(
+        f"overhead {overhead['overhead_ratio']:.4f}x "
+        f"({overhead['obs_on_seconds']:.3f}s on / "
+        f"{overhead['obs_off_seconds']:.3f}s off, "
+        f"{overhead['live_instruments']} live instruments)"
+    )
+
+    report["panel"] = run_panel(
+        args.workload,
+        topologies=tuple(args.panel_topologies),
+        profiles=tuple(args.panel_profiles),
+        num_traces=args.panel_traces,
+        seed=args.seed,
+    )
+    for cell in report["panel"]:
+        latency = cell["detection_latency_s"]
+        print(
+            f"panel {cell['topology']:>10s} {cell['profile']:>9s} "
+            f"target={cell['target_service']:<24s} "
+            + (f"detected in {latency:.3f}s" if cell["detected"] else "NOT DETECTED")
+        )
+    return report
+
+
+def check(report: dict, max_overhead: float) -> list[str]:
+    """Apply the identity / overhead / panel gates."""
+    failures: list[str] = []
+    for name, cell in report["identity"].items():
+        if not cell["identical"]:
+            failures.append(f"identity {name}: {'; '.join(cell['violations'])}")
+    if len(report["identity"]) < 3:
+        failures.append(
+            f"identity sweep covers {len(report['identity'])} topologies, "
+            "expected single + sharded + lossless-net"
+        )
+    ratio = report["overhead"].get("overhead_ratio", float("inf"))
+    if ratio > max_overhead:
+        failures.append(
+            f"overhead: obs-on costs {ratio:.4f}x obs-off "
+            f"(bound {max_overhead:.2f}x)"
+        )
+    panel = report["panel"]
+    topologies = {cell["topology"] for cell in panel}
+    profiles = {cell["profile"] for cell in panel}
+    if len(topologies) < 2 or len(profiles) < 2:
+        failures.append(
+            f"panel covers {len(topologies)} topologies x {len(profiles)} "
+            "profiles, expected at least 2 x 2"
+        )
+    for cell in panel:
+        if not cell["detected"]:
+            failures.append(
+                f"panel {cell['topology']}/{cell['profile']}: fault on "
+                f"{cell['target_service']} never detected"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="onlineboutique",
+                        choices=list(WORKLOAD_BUILDERS))
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument(
+        "--topologies",
+        nargs="+",
+        default=list(DEFAULT_TOPOLOGY_NAMES),
+        choices=list(DEFAULT_TOPOLOGY_NAMES),
+        help="identity-sweep topologies",
+    )
+    parser.add_argument(
+        "--panel-topologies",
+        nargs="+",
+        default=list(DEFAULT_PANEL_TOPOLOGIES),
+        help="detection-panel topologies (single, sharded-N)",
+    )
+    parser.add_argument(
+        "--panel-profiles",
+        nargs="+",
+        default=list(DEFAULT_PANEL_PROFILES),
+        help="detection-panel chaos profiles",
+    )
+    parser.add_argument("--panel-traces", type=int, default=240)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=DEFAULT_MAX_OVERHEAD,
+        help="gate: maximum obs-on/obs-off wall-clock ratio",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on identity/overhead/panel violations",
+    )
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    failures = check(report, args.max_overhead) if args.check else []
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nGATE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    if args.check:
+        print("all observability gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,11 @@ from __future__ import annotations
 import json
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.cold.codec import make_codec
+from repro.obs.trace import NULL_OBSERVER, Observer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.backend.storage import StoredBloom
@@ -142,6 +144,18 @@ class ColdTier:
         self.blocks_sealed = 0
         self.blocks_promoted = 0
         self.blocks_decoded = 0
+        self.bind_observer(NULL_OBSERVER)
+
+    def bind_observer(self, observer: Observer) -> None:
+        """Attach the observability plane's handle (cache + decode
+        instruments cached — the decode path is a query hot path)."""
+        self.observer = observer
+        self._obs_cache_hits = observer.counter("mint_cold_cache_hits", plane="cold")
+        self._obs_cache_misses = observer.counter(
+            "mint_cold_cache_misses", plane="cold"
+        )
+        self._obs_decode_hist = observer.stage_histogram("cold_decode")
+        self._obs_promote_hist = observer.stage_histogram("cold_promote")
 
     # ------------------------------------------------------------------
     # Dictionary
@@ -234,7 +248,10 @@ class ColdTier:
         cached = self._cache.get(block_id)
         if cached is not None:
             self._cache.move_to_end(block_id)
+            self._obs_cache_hits.inc()
             return cached
+        self._obs_cache_misses.inc()
+        decode_start = perf_counter() if self.observer.enabled else 0.0
         block = self._blocks[block_id]
         dictionary = self.dictionary if block.with_dictionary else b""
         try:
@@ -259,14 +276,19 @@ class ColdTier:
         self._cache[block_id] = decoded
         while len(self._cache) > self._cache_blocks:
             self._cache.popitem(last=False)
+        if self.observer.enabled:
+            self._obs_decode_hist.observe(max(0.0, perf_counter() - decode_start))
         return decoded
 
     def pop(self, block_id: int) -> Any:
         """Decode and remove one block (the promote/unseal step)."""
+        promote_start = perf_counter() if self.observer.enabled else 0.0
         decoded = self.decode(block_id)
         del self._blocks[block_id]
         self._cache.pop(block_id, None)
         self.blocks_promoted += 1
+        if self.observer.enabled:
+            self._obs_promote_hist.observe(max(0.0, perf_counter() - promote_start))
         return decoded
 
     # ------------------------------------------------------------------

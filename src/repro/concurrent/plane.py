@@ -44,6 +44,7 @@ guarantee empirically.
 from __future__ import annotations
 
 from collections import defaultdict
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.agent.reports import PatternLibraryReport, Report
@@ -51,6 +52,7 @@ from repro.backend.sharded import shard_for_key
 from repro.concurrent.lanes import DEFAULT_QUEUE_BOUND, LaneError, make_lane
 from repro.concurrent.snapshot import PatternPlaneSnapshot
 from repro.concurrent.worker import SamplerFactory, Stamp
+from repro.obs.trace import NULL_OBSERVER, Observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.config import MintConfig
@@ -137,6 +139,23 @@ class ParallelIngestPlane:
         self._snapshot = PatternPlaneSnapshot.empty()
         self._patterns_dirty = False
         self._stopped = False
+        self.bind_observer(NULL_OBSERVER)
+
+    def bind_observer(self, observer: Observer) -> None:
+        """Attach the observability plane's handle — parent side only.
+
+        Lanes are never instrumented: the single-writer rule says a
+        worker touches no shared state, and the registry is shared
+        state.  All counting happens here, at the apply barrier, where
+        the parent replays the lanes' stamped reports anyway.
+        """
+        self.observer = observer
+        self._obs_epochs = observer.counter("mint_epochs_applied", plane="concurrent")
+        self._obs_barrier_hist = observer.stage_histogram("epoch_barrier")
+        self._obs_lane_reports = [
+            observer.counter("mint_lane_reports", lane=str(i), plane="concurrent")
+            for i in range(self.workers)
+        ]
 
     # ------------------------------------------------------------------
     # Ingest
@@ -235,6 +254,8 @@ class ParallelIngestPlane:
                 self._op_buffers[lane_index] = []
         for lane in self._lanes:
             lane.post(("barrier",))
+        observed = self.observer.enabled
+        barrier_start = perf_counter() if observed else 0.0
         reports: list[tuple[Stamp, Report]] = []
         sampled: list[tuple[int, int, str, str]] = []
         overflows: list[tuple[int, dict]] = []
@@ -242,8 +263,16 @@ class ParallelIngestPlane:
             reply = lane.collect()
             reports.extend(reply[1])
             sampled.extend(reply[2])
+            if observed and reply[1]:
+                self._obs_lane_reports[index].inc(len(reply[1]))
             if len(reply) > 3 and reply[3]:
                 overflows.extend((index, info) for info in reply[3])
+        if observed:
+            # Wall time the parent spent waiting on the slowest lane —
+            # the barrier cost the McKenney-style read-mostly split is
+            # supposed to keep small.
+            self._obs_barrier_hist.observe(max(0.0, perf_counter() - barrier_start))
+            self._obs_epochs.inc()
         if overflows:
             # Fail before any replay: a lane evicted params-buffer
             # blocks *within* this epoch, which a sequential run may

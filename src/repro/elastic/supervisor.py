@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.elastic.chaos import ShardChaosProfile
+from repro.obs.trace import NULL_OBSERVER, Observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.reports import Report
@@ -66,6 +67,10 @@ class _Parked:
 
     report: "Report"
     due_s: float
+    # Simulated instant the report was parked — the park->replay stage
+    # latency is measured against this, entirely in sim time, so the
+    # panel is deterministic for a given chaos schedule.
+    parked_at_s: float = 0.0
 
 
 @dataclass
@@ -101,10 +106,15 @@ class ShardSupervisor:
         self._suspected: set[int] = set()
         self._attempts: dict[int, int] = {}
         self._next_probe: dict[int, float] = {}
+        self.observer: Observer = NULL_OBSERVER
 
     def bind_clock(self, clock: ClockFn) -> None:
         """Point the supervisor at the transport's simulated clock."""
         self._clock = clock
+
+    def bind_observer(self, observer: Observer) -> None:
+        """Attach the observability plane's handle."""
+        self.observer = observer
 
     # ------------------------------------------------------------------
     # Time
@@ -165,7 +175,7 @@ class ShardSupervisor:
             self.stats.dropped += 1
         if queue and due_s < queue[-1].due_s:
             due_s = queue[-1].due_s
-        queue.append(_Parked(report, due_s))
+        queue.append(_Parked(report, due_s, parked_at_s=self._time))
         self._parked_total += 1
         self.stats.parked += 1
         self.stats.max_parked = max(self.stats.max_parked, self._parked_total)
@@ -210,6 +220,12 @@ class ShardSupervisor:
                 self._parked_total -= 1
                 self.commit(entry.report)
                 self.stats.replayed += 1
+                if self.observer.enabled:
+                    self.observer.observe_sim(
+                        "supervisor_park_replay",
+                        max(0.0, now - entry.parked_at_s),
+                        shard=str(shard),
+                    )
 
     def settle(self) -> None:
         """End-of-run convergence: replay everything replayable.

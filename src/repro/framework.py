@@ -33,6 +33,7 @@ approximate trace, or miss.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Iterable
 
 from repro.agent.agent import MintAgent
@@ -43,6 +44,7 @@ from repro.backend.sharded import ShardSummary
 from repro.baselines.base import TracingFramework
 from repro.model.span import Span
 from repro.model.trace import Trace
+from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.query.cursor import QueryCursor
 from repro.query.result import QueryResult
 from repro.query.spec import QuerySpec
@@ -83,6 +85,15 @@ class MintFramework(TracingFramework):
         self.shard_ledgers = [
             OverheadLedger() for _ in range(self.deployment.ledger_count)
         ]
+        # The self-observability plane: one live registry per framework
+        # (benches run reference and candidate side by side — a global
+        # registry would cross-contaminate), or the shared null observer
+        # when the deployment turns it off.  Observability on vs off is
+        # bit-identical on byte tables, meter series and query
+        # signatures — the obs bench gates it.
+        self.observer: Observer = (
+            Observer() if self.deployment.observability else NULL_OBSERVER
+        )
         self.backend = self.deployment.build_backend(self.config)
         # The transport is the deployment's only metering point: it
         # claims the backend's notify meter and charges report bytes,
@@ -94,6 +105,22 @@ class MintFramework(TracingFramework):
             ledger=self.ledger,
             clock=lambda: self._now,
             shard_ledgers=self.shard_ledgers,
+        )
+        # Wire the observer through every instrumented seam (transport,
+        # backend query path, per-engine cold tiers); the parse-stage
+        # instruments are cached here so the ingest hot path pays one
+        # attribute check per trace when observability is off.
+        self.backend.bind_observer(self.observer)
+        self.transport.bind_observer(self.observer)
+        for engine in self.backend.storage_engines():
+            engine.cold.bind_observer(self.observer)
+        self._obs_parse_hist = self.observer.stage_histogram("parse")
+        self._obs_traces = self.observer.counter("mint_ingest_traces", plane="ingest")
+        self._obs_subtraces = self.observer.counter(
+            "mint_ingest_subtraces", plane="ingest"
+        )
+        self._obs_sampled = self.observer.counter(
+            "mint_ingest_sampled_traces", plane="ingest"
         )
         # The concurrent ingest plane (deployment.workers > 0) moves the
         # parse/sample hot path onto worker lanes; the framework stays
@@ -113,6 +140,7 @@ class MintFramework(TracingFramework):
                 set_now=self._set_now,
                 sampler_factories=self._extra_factories,
             )
+            self._plane.bind_observer(self.observer)
         if self.deployment.is_elastic:
             if self.deployment.reshard_to is not None:
                 self.name = (
@@ -127,6 +155,7 @@ class MintFramework(TracingFramework):
             supervisor = getattr(self.backend, "supervisor", None)
             if supervisor is not None:
                 supervisor.bind_clock(self.transport.wire_now)
+                supervisor.bind_observer(self.observer)
         elif self.deployment.is_sharded:
             self.name = f"Mint-Sharded({self.deployment.num_shards})"
         if self.deployment.is_parallel:
@@ -182,16 +211,36 @@ class MintFramework(TracingFramework):
 
     def _process_online(self, trace: Trace, now: float) -> None:
         if self._plane is not None:
+            if self.observer.enabled:
+                # Trace/subtrace ingest counts stay parent-side under
+                # parallel ingest (lanes never touch the registry); the
+                # parse stage itself runs on the lanes and is covered
+                # by the plane's epoch-barrier histogram instead.
+                self._obs_traces.inc()
+                self._obs_subtraces.inc(len({span.node for span in trace.spans}))
             # Notifications and storage syncs run inside the plane's
             # apply barrier, in this exact per-trace schedule.
             self._plane.submit(trace, now)
             return
+        observed = self.observer.enabled
+        parse_start = perf_counter() if observed else 0.0
         sampled_on: list[str] = []
+        subtraces = 0
         for sub_trace in trace.sub_traces():
+            subtraces += 1
             collector = self._collector_for(sub_trace.node)
             result = collector.process(sub_trace, now)
             if result.sampled:
                 sampled_on.append(sub_trace.node)
+        if observed:
+            # The parse stage covers parse/intern/sample only — the
+            # notification fan-out and storage sync below are metered at
+            # their own seams (transport notify counters, storage gauges).
+            self._obs_parse_hist.observe(max(0.0, perf_counter() - parse_start))
+            self._obs_traces.inc()
+            self._obs_subtraces.inc(subtraces)
+            if sampled_on:
+                self._obs_sampled.inc()
         for node in sampled_on:
             self.backend.notify_sampled(trace.trace_id, origin_node=node)
         self.transport.sync_storage()
@@ -342,6 +391,41 @@ class MintFramework(TracingFramework):
     def net_stats(self) -> dict | None:
         """The network plane's delivery metrics, when one is deployed."""
         return self.transport.stats_summary()
+
+    # ------------------------------------------------------------------
+    # Observability plane
+    # ------------------------------------------------------------------
+    def obs_report(self, deterministic: bool = False) -> dict:
+        """One structured snapshot of every plane's panels.
+
+        Unifies the ad-hoc stats surfaces — ledger totals,
+        ``net_stats()``, ``elastic_stats()``, ``cold_stats()``, the
+        query plane's cumulative :class:`~repro.query.planner.PlanStats`
+        and per-shard rows — with the live metrics registry under one
+        schema.  ``deterministic=True`` strips wall-clock durations
+        (machine noise) but keeps their counts, yielding a snapshot
+        that is bit-identical across two identical seeded runs.
+        """
+        from repro.obs.report import build_report
+
+        return build_report(self, deterministic=deterministic)
+
+    def obs_prometheus(self) -> str:
+        """The registry as Prometheus-style text exposition (empty when
+        the deployment disabled observability)."""
+        from repro.obs.export import render_prometheus
+
+        if not self.observer.enabled:
+            return ""
+        return render_prometheus(self.observer.registry)
+
+    def obs_json(self, deterministic: bool = False, indent: int | None = 2) -> str:
+        """The :meth:`obs_report` snapshot as canonical JSON."""
+        from repro.obs.export import report_to_json
+
+        return report_to_json(
+            self.obs_report(deterministic=deterministic), indent=indent
+        )
 
     # ------------------------------------------------------------------
     # Cold tier (tiered storage)

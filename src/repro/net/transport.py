@@ -449,7 +449,14 @@ class NetTransport(LocalTransport):
         stats = self._stats_for(batch.link)
         stats.delivered_batches += 1
         stats.delivered_reports += len(batch.reports)
-        stats.latency.record(max(0.0, self._sim.now - batch.created_at))
+        queue_wait = max(0.0, self._sim.now - batch.created_at)
+        stats.latency.record(queue_wait)
+        if self.observer.enabled:
+            # Sim-domain stage: enqueue -> delivery through the wire
+            # model.  The clock is read (the scheduler put us here),
+            # never pumped — the wire_now discipline — so the series is
+            # bit-reproducible across identical seeded runs.
+            self.observer.observe_sim("net_queue_wait", queue_wait, link=batch.link)
         for index, report in enumerate(batch.reports):
             self.backend.receive(report, message_id=(batch.link, batch.seq, index))
 

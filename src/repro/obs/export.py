@@ -1,0 +1,56 @@
+"""Export surfaces: Prometheus-style text exposition and JSON dumps.
+
+No HTTP server and no client library — the exposition format is plain
+text and the point is scrape-ability of the *format*, not a daemon.
+``render_prometheus`` walks a registry in sorted order so two identical
+seeded runs emit byte-identical sim-domain series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, format_labels
+
+
+def _merge_label(labels, extra_key: str, extra_value: str) -> str:
+    items = tuple(sorted(labels + ((extra_key, extra_value),)))
+    return format_labels(items)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (sorted, stable)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.kind == "counter":
+            metric = name + "_total" if not name.endswith("_total") else name
+            if metric not in seen_types:
+                lines.append(f"# TYPE {metric} counter")
+                seen_types.add(metric)
+            lines.append(f"{metric}{format_labels(instrument.labels)} {instrument.value}")
+        elif instrument.kind == "gauge":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            lines.append(f"{name}{format_labels(instrument.labels)} {instrument.value}")
+        else:  # histogram
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} histogram")
+                seen_types.add(name)
+            for bound, count in instrument.bucket_counts():
+                le = "+Inf" if bound is None else repr(bound)
+                lines.append(
+                    f"{name}_bucket{_merge_label(instrument.labels, 'le', le)} {count}"
+                )
+            labels = format_labels(instrument.labels)
+            lines.append(f"{name}_sum{labels} {instrument.sum}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def report_to_json(report: dict[str, Any], indent: int | None = 2) -> str:
+    """An ``obs_report()`` snapshot as canonical JSON."""
+    return json.dumps(report, indent=indent, sort_keys=True)

@@ -1,0 +1,397 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One quantile codepath for the whole system.  :class:`Histogram` holds
+fixed cumulative buckets plus (optionally) the raw samples; the net
+plane's :class:`LatencyStats` is the sample-tracking flavour, so
+``net_stats()`` percentile panels and obs histograms report through the
+same nearest-rank implementation instead of two divergent ones.
+
+Everything here is thread-safe (one small lock per instrument, same
+discipline as :class:`repro.sim.meters.Meter`) so lane replay on the
+parent and any future multi-threaded wire can share instruments.  All
+instruments are cheap enough to leave on: an increment is a lock plus
+an integer add, and the hot paths guard timing work behind a single
+``observer.enabled`` attribute check.
+
+Instruments carry a ``domain`` tag — ``"sim"`` for simulated-time
+phenomena (deterministic across identical seeded runs) and ``"wall"``
+for ``perf_counter`` profiling (machine noise by construction).  The
+deterministic snapshot keeps sim-domain values and wall-domain *counts*
+but strips wall-domain durations, which is what makes the obs-report
+determinism gate meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterator
+
+#: Wall-clock stage latencies: 10 µs .. 2 min, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.00001,
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+    120.0,
+)
+
+SIM_DOMAIN = "sim"
+WALL_DOMAIN = "wall"
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def format_labels(labels: "LabelItems | dict[str, Any]") -> str:
+    """Prometheus-style ``{k="v",...}`` suffix (empty for no labels).
+
+    Accepts either the registry's sorted label items or a plain dict
+    (sorted here, so the rendering is canonical either way)."""
+    if isinstance(labels, dict):
+        labels = _label_items(labels)
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _label_items(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative — counters never go down)."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+
+class Gauge:
+    """A named value that can move in either direction."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+
+class Histogram:
+    """Fixed cumulative buckets plus optional raw samples.
+
+    With ``track_samples`` the percentile is exact nearest-rank over the
+    raw floats (the :class:`LatencyStats` contract); without it the
+    percentile is resolved to the upper bound of the covering bucket —
+    honest about its resolution, never an interpolated fiction.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str = "histogram",
+        labels: LabelItems = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        track_samples: bool = False,
+        domain: str = WALL_DOMAIN,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.domain = domain
+        self._bounds: tuple[float, ...] = tuple(sorted(buckets))
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._counts: list[int] = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._track = track_samples
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    # -- write side ----------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation (non-negative seconds/units)."""
+        if value < 0:
+            raise ValueError("cannot record a negative latency")
+        with self._lock:
+            self._counts[bisect_left(self._bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            if self._track:
+                self._samples.append(value)
+
+    # LatencyStats spelling — same instrument, historical verb.
+    record = observe
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another instrument's observations into this one."""
+        with self._lock:
+            if other._bounds == self._bounds:
+                for i, n in enumerate(other._counts):
+                    self._counts[i] += n
+            else:  # re-bucket through the samples when geometries differ
+                for value in other._samples:
+                    self._counts[bisect_left(self._bounds, value)] += 1
+            self._count += other._count
+            self._sum += other._sum
+            if self._track:
+                self._samples.extend(other._samples)
+
+    def reset(self) -> None:
+        """Drop all observations."""
+        with self._lock:
+            self._counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._samples.clear()
+
+    # -- read side -----------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        if not self._count:
+            return 0.0
+        return self._sum / self._count
+
+    def percentile(self, pct: float) -> float:
+        """The single quantile codepath: exact nearest-rank when samples
+        are tracked, covering-bucket upper bound otherwise."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("pct must be in [0, 100]")
+        if not self._count:
+            return 0.0
+        if self._track:
+            ordered = sorted(self._samples)
+            rank = max(
+                0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1)))
+            )
+            return ordered[rank]
+        target = max(1, round(pct / 100.0 * self._count))
+        running = 0
+        for i, n in enumerate(self._counts):
+            running += n
+            if running >= target:
+                if i < len(self._bounds):
+                    return self._bounds[i]
+                return self._max_seen()
+        return self._max_seen()  # pragma: no cover - loop always covers
+
+    def _max_seen(self) -> float:
+        """Upper estimate for the overflow bucket: the largest finite
+        bound (or the observed mean when no bounds exist)."""
+        return self._bounds[-1] if self._bounds else self.mean
+
+    @property
+    def p50(self) -> float:
+        """Median in seconds."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile in seconds."""
+        return self.percentile(99.0)
+
+    def bucket_counts(self) -> list[tuple[float | None, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs; ``None`` = +Inf."""
+        with self._lock:
+            out: list[tuple[float | None, int]] = []
+            running = 0
+            for bound, n in zip(self._bounds, self._counts):
+                running += n
+                out.append((bound, running))
+            out.append((None, self._count))
+            return out
+
+    def snapshot(self, deterministic: bool = False) -> dict[str, Any]:
+        """One histogram as report JSON.  ``deterministic`` strips the
+        wall-domain durations (machine noise) but keeps counts."""
+        base: dict[str, Any] = {"count": self._count, "domain": self.domain}
+        if deterministic and self.domain == WALL_DOMAIN:
+            return base
+        base.update(
+            {
+                "sum": self._sum,
+                "mean": self.mean,
+                "p50": self.p50,
+                "p99": self.p99,
+                "buckets": [
+                    [bound, n] for bound, n in self.bucket_counts() if n
+                ],
+            }
+        )
+        return base
+
+    def __getstate__(self) -> dict:
+        """Pickle support: locks do not cross process boundaries."""
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class LatencyStats(Histogram):
+    """Raw-sample latency instrument (exact percentiles).
+
+    The historical net-plane/ingest-bench type, now a sample-tracking
+    :class:`Histogram` so every percentile panel in the system shares
+    one quantile implementation.
+    """
+
+    def __init__(
+        self,
+        name: str = "latency",
+        labels: LabelItems = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        domain: str = WALL_DOMAIN,
+    ) -> None:
+        super().__init__(
+            name, labels, buckets=buckets, track_samples=True, domain=domain
+        )
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with get-or-create semantics.
+
+    One registry per framework instance — benchmarks run reference and
+    candidate frameworks side by side in one process, so a module-level
+    registry would cross-contaminate their panels.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, str, LabelItems], Any] = {}
+        # One name, one kind — Prometheus exposition forbids a metric
+        # name carrying two types, so the registry does too.
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, kind: str, name: str, labels: LabelItems, factory):
+        key = (kind, name, labels)
+        found = self._instruments.get(key)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is None:
+                registered = self._kinds.setdefault(name, kind)
+                if registered != kind:
+                    raise ValueError(
+                        f"metric {name!r} is already registered as a "
+                        f"{registered}, cannot reuse the name for a {kind}"
+                    )
+                found = factory()
+                self._instruments[key] = found
+            return found
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        items = _label_items(labels)
+        return self._get_or_create(
+            "counter", name, items, lambda: Counter(name, items)
+        )
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        items = _label_items(labels)
+        return self._get_or_create("gauge", name, items, lambda: Gauge(name, items))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+        track_samples: bool = False,
+        domain: str = WALL_DOMAIN,
+        **labels: Any,
+    ) -> Histogram:
+        items = _label_items(labels)
+        return self._get_or_create(
+            "histogram",
+            name,
+            items,
+            lambda: Histogram(
+                name,
+                items,
+                buckets=buckets,
+                track_samples=track_samples,
+                domain=domain,
+            ),
+        )
+
+    def instruments(self) -> Iterator[Any]:
+        """All instruments, sorted by (kind, name, labels) for stable
+        exposition and deterministic report snapshots."""
+        with self._lock:
+            keys = sorted(self._instruments)
+        for key in keys:
+            yield self._instruments[key]
+
+    def snapshot(self, deterministic: bool = False) -> dict[str, Any]:
+        """The registry as one report section."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, Any]] = {}
+        for instrument in self.instruments():
+            key = instrument.name + format_labels(instrument.labels)
+            if instrument.kind == "counter":
+                counters[key] = instrument.value
+            elif instrument.kind == "gauge":
+                gauges[key] = instrument.value
+            else:
+                histograms[key] = instrument.snapshot(deterministic=deterministic)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

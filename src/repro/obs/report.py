@@ -1,0 +1,65 @@
+"""``obs_report()``: every plane's panels under one snapshot schema.
+
+Before PR 9 each plane grew its own ad-hoc stats surface —
+``net_stats()``, ``elastic_stats()``, ``cold_stats()``, the query
+planner's :class:`~repro.query.planner.PlanStats`, per-shard ledger
+rows.  Those accessors survive as thin delegates; this module folds
+them, plus the live metrics registry, into one structured report.
+
+Two flavours:
+
+* the full report carries everything, wall-clock profiling included;
+* the deterministic report strips wall-domain durations (machine
+  noise) but keeps their counts — two identical seeded runs produce
+  bit-identical deterministic reports, which the obs test suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.framework import MintFramework
+
+
+def build_report(
+    framework: "MintFramework", deterministic: bool = False
+) -> dict[str, Any]:
+    """One structured snapshot of a framework's observable state."""
+    ledger = framework.ledger
+    report: dict[str, Any] = {
+        "framework": framework.name,
+        "deployment": framework.deployment.describe(),
+        "observability": framework.observer.enabled,
+        "ledger": {
+            "network_bytes": ledger.network.total_bytes,
+            "storage_bytes": ledger.storage.total_bytes,
+            "physical_storage_bytes": framework.physical_storage_bytes,
+            "retransmit_bytes": framework.retransmit_bytes,
+            "migration_bytes": framework.migration_bytes,
+        },
+        "meters": {
+            "network_per_minute": [
+                [minute, nbytes]
+                for minute, nbytes in ledger.network.per_minute_series()
+            ],
+            "storage_per_minute": [
+                [minute, nbytes]
+                for minute, nbytes in ledger.storage.per_minute_series()
+            ],
+        },
+        "metrics": framework.observer.snapshot(deterministic=deterministic),
+        # The pre-PR-9 surfaces, folded in as sub-sections (their
+        # accessors remain and delegate to the same underlying state).
+        "net": framework.net_stats(),
+        "elastic": framework.elastic_stats(),
+        "cold": framework.cold_stats(),
+        "query": dict(framework.backend.plan_totals.as_dict()),
+        "shards": [row.as_dict() for row in framework.shard_meter_rows()],
+    }
+    return report
+
+
+def deterministic_report(framework: "MintFramework") -> dict[str, Any]:
+    """The determinism-gated flavour: sim-domain state only."""
+    return build_report(framework, deterministic=True)

@@ -19,6 +19,8 @@ import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import LatencyStats
+
 
 class Meter:
     """Accumulates byte counts over simulated time (thread-safe)."""
@@ -85,61 +87,17 @@ class Meter:
         self._lock = threading.Lock()
 
 
-class LatencyStats:
-    """Accumulates wall-clock latency samples and reports percentiles.
-
-    The ingest benchmark's instrument: per-trace agent latencies go in,
-    p50/p99 (the paper's Fig. 15 axes) come out.  Samples are kept raw
-    (one float each) so percentiles are exact, not bucketed.
-    """
-
-    def __init__(self, name: str = "latency") -> None:
-        self.name = name
-        self._samples: list[float] = []
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    def record(self, seconds: float) -> None:
-        """Add one latency sample (in seconds)."""
-        if seconds < 0:
-            raise ValueError("cannot record a negative latency")
-        self._samples.append(seconds)
-
-    def merge(self, other: "LatencyStats") -> None:
-        """Fold another instrument's samples into this one."""
-        self._samples.extend(other._samples)
-
-    def percentile(self, pct: float) -> float:
-        """Exact percentile (nearest-rank) over the recorded samples."""
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError("pct must be in [0, 100]")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
-
-    @property
-    def p50(self) -> float:
-        """Median latency in seconds."""
-        return self.percentile(50.0)
-
-    @property
-    def p99(self) -> float:
-        """99th-percentile latency in seconds."""
-        return self.percentile(99.0)
-
-    @property
-    def mean(self) -> float:
-        """Mean latency in seconds."""
-        if not self._samples:
-            return 0.0
-        return sum(self._samples) / len(self._samples)
-
-    def reset(self) -> None:
-        """Drop all samples."""
-        self._samples.clear()
+# LatencyStats moved to the observability plane (PR 9): it is now the
+# sample-tracking flavour of ``repro.obs.metrics.Histogram``, so the
+# net plane's percentile panels and the obs registry share exactly one
+# quantile implementation.  Re-exported here because this module is its
+# historical home and every consumer imports it from ``repro.sim``.
+__all__ = [
+    "LatencyStats",
+    "Meter",
+    "OverheadLedger",
+    "ShardLedgerRow",
+]
 
 
 @dataclass

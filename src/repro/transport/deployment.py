@@ -72,6 +72,13 @@ class Deployment:
     workers: int = 0
     worker_mode: str = "thread"
     ingest_epoch: int = 32
+    # Self-observability plane (PR 9): True wires a live metrics
+    # registry and tracing seam through every component; False hands
+    # them the shared null observer.  On or off, byte tables, meter
+    # series and query signatures are bit-identical by contract
+    # (instrumentation reads clocks, never pumps them) — the obs bench
+    # gates it.
+    observability: bool = True
 
     def __post_init__(self) -> None:
         if self.num_shards < 0:
@@ -122,6 +129,7 @@ class Deployment:
         workers: int = 0,
         worker_mode: str = "thread",
         ingest_epoch: int = 32,
+        observability: bool = True,
     ) -> "Deployment":
         """The reference topology: one backend, one storage engine.
 
@@ -134,6 +142,7 @@ class Deployment:
             workers=workers,
             worker_mode=worker_mode,
             ingest_epoch=ingest_epoch,
+            observability=observability,
         )
 
     @classmethod
@@ -144,6 +153,7 @@ class Deployment:
         workers: int = 0,
         worker_mode: str = "thread",
         ingest_epoch: int = 32,
+        observability: bool = True,
     ) -> "Deployment":
         """N hash-partitioned shards behind the merged view.
 
@@ -159,6 +169,7 @@ class Deployment:
             workers=workers,
             worker_mode=worker_mode,
             ingest_epoch=ingest_epoch,
+            observability=observability,
         )
 
     @classmethod
@@ -168,6 +179,7 @@ class Deployment:
         to_shards: int,
         network: "NetworkDescriptor | None" = None,
         shard_chaos: "ShardChaosProfile | None" = None,
+        observability: bool = True,
     ) -> "Deployment":
         """An elastic deployment that starts at ``from_shards`` and is
         meant to be rescaled live to ``to_shards``.
@@ -198,6 +210,7 @@ class Deployment:
             elastic=True,
             reshard_to=to_shards,
             shard_chaos=shard_chaos,
+            observability=observability,
         )
 
     @classmethod
@@ -206,6 +219,7 @@ class Deployment:
         num_shards: int,
         network: "NetworkDescriptor | None" = None,
         shard_chaos: "ShardChaosProfile | None" = None,
+        observability: bool = True,
     ) -> "Deployment":
         """N shards on the elastic backend: reshardable, supervisable.
 
@@ -220,6 +234,7 @@ class Deployment:
             network=network,
             elastic=True,
             shard_chaos=shard_chaos,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------
@@ -261,6 +276,8 @@ class Deployment:
             topology += f"+shardchaos={self.shard_chaos.name}"
         if self.is_parallel:
             topology += f"+{self.workers}w-{self.worker_mode}"
+        if not self.observability:
+            topology += "+obs-off"
         if self.network is None:
             return topology
         return f"{topology}+{self.network.describe()}"

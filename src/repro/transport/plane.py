@@ -20,11 +20,13 @@ coincidental — both run the exact same code here, differing only in
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Callable, Iterable
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.agent.reports import BloomReport, ParamsReport, PatternLibraryReport, Report
+from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.query.cursor import QueryCursor
-from repro.query.planner import QueryPlanner
+from repro.query.planner import PlanStats, QueryPlanner
 from repro.query.result import QueryResult
 from repro.query.spec import QuerySpec
 from repro.transport.wire import NOTIFY_MESSAGE_BYTES, NotifyMeter
@@ -65,6 +67,22 @@ class BackendPlane(abc.ABC):
         # Per-channel high-water marks for message-id dedup: O(links)
         # memory however long the run (see ``receive``).
         self._delivered_watermarks: dict[object, tuple] = {}
+        # Cumulative planner counters across every query this plane
+        # ran — kept observability-independent (plain integer adds on
+        # cursor close) so ``obs_report()`` has a query section even on
+        # an obs-off deployment.
+        self.plan_totals = PlanStats()
+        self.bind_observer(NULL_OBSERVER)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def bind_observer(self, observer: Observer) -> None:
+        """Attach the observability plane's handle (query-path caches)."""
+        self.observer = observer
+        self._obs_plans = observer.counter("mint_query_plans", plane="query")
+        self._obs_results = observer.counter("mint_query_results", plane="query")
+        self._obs_reconstruct_hist = observer.stage_histogram("query_reconstruct")
 
     # ------------------------------------------------------------------
     # Topology (the only part subclasses provide)
@@ -190,13 +208,47 @@ class BackendPlane(abc.ABC):
         answer to exact when the buffers cooperate.  Execution is
         lazy: each ``next()`` on the cursor reconstructs one trace.
         """
-        plan = QueryPlanner(self.storage).plan(spec)
+        if self.observer.enabled:
+            self._obs_plans.inc()
+            with self.observer.span("query_plan"):
+                plan = QueryPlanner(self.storage).plan(spec)
+        else:
+            plan = QueryPlanner(self.storage).plan(spec)
         if spec.pull_params:
             # Claim the plan's upgrade hook: the pull runs on each
             # partial reconstruction *before* predicates judge it, so a
             # pulled-to-exact trace is filtered on its real spans.
             plan.upgrade = lambda result: self._pull_params(result, plan.stats)
-        return QueryCursor(spec, plan.results(), plan.stats)
+        return QueryCursor(spec, self._observed_results(plan), plan.stats)
+
+    def _observed_results(self, plan) -> Iterator[QueryResult]:
+        """The plan's lazy result stream, with per-result reconstruct
+        timing and the cursor-close fold of its counters into
+        :attr:`plan_totals` (and the obs registry).  Folding happens in
+        the ``finally`` so a partially consumed cursor still settles
+        its accounting when it is closed or collected."""
+        observed = self.observer.enabled
+        results = plan.results()
+        try:
+            while True:
+                if observed:
+                    start = perf_counter()
+                    try:
+                        result = next(results)
+                    except StopIteration:
+                        break
+                    self._obs_reconstruct_hist.observe(perf_counter() - start)
+                    self._obs_results.inc()
+                else:
+                    try:
+                        result = next(results)
+                    except StopIteration:
+                        break
+                yield result
+        finally:
+            totals = self.plan_totals
+            for name, value in plan.stats.as_dict().items():
+                setattr(totals, name, getattr(totals, name) + value)
 
     def query(self, trace_id: str, pull_params: bool = False) -> QueryResult:
         """Answer a user trace query (exact / partial / miss)."""

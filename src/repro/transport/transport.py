@@ -18,8 +18,10 @@ order, nothing above or below it changes.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
+from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.sim.meters import Meter, OverheadLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -125,6 +127,36 @@ class LocalTransport:
         self._last_physical_storage = 0
         if backend.notify_meter is None:
             backend.notify_meter = self.notify
+        self.bind_observer(NULL_OBSERVER)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def bind_observer(self, observer: Observer) -> None:
+        """Attach the observability plane's handle.
+
+        Hot-path instruments are cached here, once, so charging a
+        report costs one ``observer.enabled`` check plus a no-op (or
+        counter bump) — never a registry lookup per report.  Reading
+        the instruments never touches the ledgers, so observability on
+        vs off is byte-table-invariant by construction.
+        """
+        self.observer = observer
+        self._obs_reports = observer.counter("mint_transport_reports", plane="transport")
+        self._obs_report_bytes = observer.counter(
+            "mint_transport_report_bytes", plane="transport"
+        )
+        self._obs_notifies = observer.counter(
+            "mint_transport_notifies", plane="transport"
+        )
+        self._obs_migration_reports = observer.counter(
+            "mint_transport_migration_reports", plane="transport"
+        )
+        self._obs_deliver_hist = observer.stage_histogram("transport_deliver")
+        self._obs_storage_gauge = observer.gauge("mint_storage_bytes", plane="storage")
+        self._obs_physical_gauge = observer.gauge(
+            "mint_physical_storage_bytes", plane="storage"
+        )
 
     # ------------------------------------------------------------------
     # The wire
@@ -132,7 +164,12 @@ class LocalTransport:
     def deliver(self, report: "Report") -> None:
         """Collector -> backend: meter the report's size, then store."""
         self._charge_report(report.node, report.size_bytes(), self._clock())
-        self.backend.receive(report)
+        if self.observer.enabled:
+            start = perf_counter()
+            self.backend.receive(report)
+            self._obs_deliver_hist.observe(perf_counter() - start)
+        else:
+            self.backend.receive(report)
 
     def deliver_migration(self, report: "Report") -> None:
         """Shard -> shard reshard traffic: migration meter only.
@@ -142,6 +179,7 @@ class LocalTransport:
         with the movement's cost visible on its own meter, exactly as
         retransmissions are."""
         self.migration.record(report.size_bytes(), self.wire_now())
+        self._obs_migration_reports.inc()
         self.backend.receive(report)
 
     def wire_now(self) -> float:
@@ -156,6 +194,9 @@ class LocalTransport:
         self.ledger.network.record(size, now)
         if self.shard_ledgers:
             self._shard_ledger(self.backend.shard_for(node)).network.record(size, now)
+        if self.observer.enabled:
+            self._obs_reports.inc()
+            self._obs_report_bytes.inc(size)
 
     def _shard_ledger(self, shard: int) -> OverheadLedger:
         """The shard's ledger, grown on demand for elastic scale-ups.
@@ -176,6 +217,7 @@ class LocalTransport:
             self._shard_ledger(self.backend.shard_for(node)).network.record(
                 nbytes, now
             )
+        self._obs_notifies.inc()
 
     def __call__(self, report: "Report") -> None:
         """Bare-callable compatibility: a transport can stand wherever
@@ -230,3 +272,6 @@ class LocalTransport:
                         physical - self._last_shard_storage[i], now
                     )
                     self._last_shard_storage[i] = physical
+        if self.observer.enabled:
+            self._obs_storage_gauge.set(self._last_storage)
+            self._obs_physical_gauge.set(self._last_physical_storage)
