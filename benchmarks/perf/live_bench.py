@@ -1,0 +1,253 @@
+"""Live-plane measurement: subscription identity, meter separation, storms.
+
+Three claims the live analyst plane makes, each measured end to end:
+
+* **identity** — a standing query accumulates, over the stream,
+  exactly the hit set its spec yields as a post-hoc batch query.  A
+  panel of subscriptions (error predicate, service predicate, explicit
+  batch ids, a time window) rides the identical deterministic stream
+  on every topology — single, sharded, and behind a lossy wire — and
+  each accumulated hit set (ids *and* delivered statuses) must match
+  the batch answer bit for bit.
+* **separation** — push traffic is confined to the ``push`` meter.
+  The same stream is driven with and without subscriptions; the
+  fig02/fig11 byte tables, the per-minute network series and the full
+  query signature must be bit-identical between the two runs, while
+  the subscribed run's push meter is the only thing that moved.
+* **storm** — the plane holds up under analyst load: the
+  :mod:`repro.sim.storm` harness fires a seeded ≥1000-QPS query storm
+  mid-ingest (wire latency included in every reported percentile) and
+  must leave the run's fingerprint bit-identical to a quiet control.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from sharded_bench import WORKLOAD_BUILDERS, build_stream, byte_tables, query_signature
+
+from repro.framework import MintFramework
+from repro.net.chaos import CHAOS_PROFILES
+from repro.net.transport import CHAOS_WIRE
+from repro.query.spec import QuerySpec
+from repro.sim.storm import run_storm
+from repro.transport import Deployment
+
+__all__ = [
+    "DEFAULT_STORM_QPS",
+    "DEFAULT_STORM_TRACES",
+    "DEFAULT_TOPOLOGY_NAMES",
+    "DEFAULT_TRACES",
+    "LiveIdentityCell",
+    "WORKLOAD_BUILDERS",
+    "build_live_stream",
+    "identity_sweep",
+    "live_topologies",
+    "run_storm_pair",
+    "subscription_specs",
+]
+
+DEFAULT_TRACES = 400
+DEFAULT_STORM_TRACES = 600
+DEFAULT_STORM_QPS = 1000.0
+#: The identity sweep's topologies: the acceptance gate's three —
+#: single in-process, sharded, and single behind a *lossy* wire (drop
+#: chaos), so the reliable push links are on the measured path.
+DEFAULT_TOPOLOGY_NAMES = ("single", "sharded-2", "net-lossy")
+
+
+def live_topologies() -> dict[str, Any]:
+    """Deployment factories for the identity sweep."""
+    return {
+        "single": lambda: Deployment.single(),
+        "sharded-2": lambda: Deployment.sharded(2),
+        "net-lossy": lambda: Deployment.single(
+            network=CHAOS_WIRE.with_chaos(CHAOS_PROFILES["drop"])
+        ),
+    }
+
+
+def subscription_specs(stream) -> dict[str, QuerySpec]:
+    """The standing-query panel, derived from the stream itself.
+
+    Four spec shapes cover the registration grammar: a pure predicate
+    over the whole sampled population (``error``), a predicate that
+    actually filters (``service`` — the stream's most common service),
+    an explicit id subscription (``batch`` — every third trace), and a
+    windowed predicate over explicit candidates (``window`` — the
+    stream's first half, the shape whose eager evaluation the plane
+    must defer on asynchronous topologies).
+    """
+    ids = [trace.trace_id for _, trace in stream]
+    services: Counter[str] = Counter()
+    for _, trace in stream:
+        services.update(trace.services)
+    top_service = max(sorted(services), key=lambda svc: services[svc])
+    half_time = stream[len(stream) // 2][0] if stream else 0.0
+    return {
+        "error": QuerySpec.where(error_only=True),
+        "service": QuerySpec.where(service=top_service),
+        "batch": QuerySpec.batch(ids[::3]),
+        "window": QuerySpec.where(candidates=ids, time_range=(0.0, half_time)),
+    }
+
+
+@dataclass
+class LiveIdentityCell:
+    """One topology's subscription-vs-batch and separation comparison."""
+
+    topology: str
+    identical: bool
+    violations: list[str] = field(default_factory=list)
+    subscriptions: list[dict[str, Any]] = field(default_factory=list)
+    push_bytes: int = 0
+    pushes_streamed: int = 0
+    pushes_settled: int = 0
+    duplicates: int = 0
+    dropped: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "topology": self.topology,
+            "identical": self.identical,
+            "violations": list(self.violations),
+            "subscriptions": list(self.subscriptions),
+            "push_bytes": self.push_bytes,
+            "pushes_streamed": self.pushes_streamed,
+            "pushes_settled": self.pushes_settled,
+            "duplicates": self.duplicates,
+            "dropped": self.dropped,
+        }
+
+
+def _drive(factory, stream, specs) -> tuple[MintFramework, list]:
+    framework = MintFramework(deployment=factory())
+    subs = [framework.subscribe(spec) for spec in specs]
+    last_now = 0.0
+    for now, trace in stream:
+        framework.process_trace(trace, now)
+        last_now = now
+    framework.finalize(last_now)
+    return framework, subs
+
+
+def _meter_series(framework: MintFramework) -> list[tuple[int, int]]:
+    return list(framework.ledger.network.per_minute_series())
+
+
+def identity_cell(name: str, factory, stream) -> LiveIdentityCell:
+    """Drive one topology with and without the subscription panel.
+
+    The subscribed run yields the accumulated hit sets (compared, ids
+    and statuses both, against the same specs run post hoc); the bare
+    run is the separation control — every byte table the paper's
+    figures read must be identical between the two.
+    """
+    specs = subscription_specs(stream)
+    subscribed, subs = _drive(factory, stream, specs.values())
+    bare = MintFramework(deployment=factory())
+    last_now = 0.0
+    for now, trace in stream:
+        bare.process_trace(trace, now)
+        last_now = now
+    bare.finalize(last_now)
+
+    violations: list[str] = []
+    rows: list[dict[str, Any]] = []
+    for (label, spec), sub in zip(specs.items(), subs):
+        posthoc = {
+            result.trace_id: str(result.status)
+            for result in subscribed.execute(spec)
+            if result.is_hit
+        }
+        accumulated = sub.hit_statuses
+        if accumulated != posthoc:
+            extra = sorted(set(accumulated) - set(posthoc))
+            missing = sorted(set(posthoc) - set(accumulated))
+            violations.append(
+                f"{label}: accumulated {len(accumulated)} hits != batch "
+                f"{len(posthoc)} (extra {extra[:3]}, missing {missing[:3]})"
+            )
+        rows.append(
+            {
+                "label": label,
+                "spec": spec.describe(),
+                "hits": len(accumulated),
+                "batch_hits": len(posthoc),
+                "identical": accumulated == posthoc,
+            }
+        )
+
+    tables_sub, tables_bare = byte_tables(subscribed), byte_tables(bare)
+    for key, value in tables_sub.items():
+        if value != tables_bare[key]:
+            violations.append(
+                f"{key}: subscribed {value} != bare {tables_bare[key]}"
+            )
+    if _meter_series(subscribed) != _meter_series(bare):
+        violations.append("per-minute network series moved under subscriptions")
+    if query_signature(subscribed, stream) != query_signature(bare, stream):
+        violations.append("query signatures diverge under subscriptions")
+    if subscribed.push_bytes <= 0:
+        violations.append("push meter never charged despite delivered pushes")
+    if bare.push_bytes != 0:
+        violations.append(f"bare run charged {bare.push_bytes} push bytes")
+
+    stats = subscribed.live_stats()
+    cell = LiveIdentityCell(
+        topology=name,
+        identical=not violations,
+        violations=violations,
+        subscriptions=rows,
+        push_bytes=subscribed.push_bytes,
+        pushes_streamed=stats["pushes_streamed"],
+        pushes_settled=stats["pushes_settled"],
+        duplicates=stats["duplicates"],
+        dropped=stats["dropped"],
+    )
+    subscribed.close()
+    bare.close()
+    return cell
+
+
+def identity_sweep(stream, topology_names=DEFAULT_TOPOLOGY_NAMES):
+    """The full subscription-identity sweep over the gate topologies."""
+    factories = live_topologies()
+    return [identity_cell(name, factories[name], stream) for name in topology_names]
+
+
+def run_storm_pair(
+    workload_name: str,
+    num_traces: int = DEFAULT_STORM_TRACES,
+    storm_qps: float = DEFAULT_STORM_QPS,
+    seed: int = 23,
+) -> dict[str, Any]:
+    """One storm run plus its quiet control; convergence folded in."""
+    storm = run_storm(
+        workload_name=workload_name,
+        num_traces=num_traces,
+        storm_qps=storm_qps,
+        seed=seed,
+    )
+    quiet = run_storm(
+        workload_name=workload_name,
+        num_traces=num_traces,
+        storm_qps=0.0,
+        seed=seed,
+        subscribe_errors=False,
+    )
+    converged = storm.fingerprint == quiet.fingerprint
+    report = storm.as_dict()
+    # The full fingerprints stay out of the report (per-minute series
+    # are bulky); the gate needs only the verdict.
+    report.pop("fingerprint", None)
+    report["converged"] = converged
+    return report
+
+
+def build_live_stream(workload_name: str, num_traces: int, seed: int = 17):
+    """The identity stream (same generator as the sharded/obs benches,
+    so live numbers are comparable to those suites')."""
+    return build_stream(workload_name, num_traces, seed=seed)

@@ -223,8 +223,15 @@ def run_panel(
     profiles=DEFAULT_PANEL_PROFILES,
     num_traces: int = 240,
     seed: int = 11,
+    probe_mode: str = "poll",
 ) -> list[dict[str, Any]]:
-    """The detection-latency panel, as report-ready dicts."""
+    """The detection-latency panel, as report-ready dicts.
+
+    ``probe_mode`` selects the analyst's pager: ``poll`` is the
+    original fixed-cadence probe loop, ``push`` rides the live plane's
+    standing error subscription — the bench runs both side by side so
+    the report shows what push delivery buys per cell.
+    """
     return [
         cell.as_dict()
         for cell in detection_latency_panel(
@@ -233,6 +240,7 @@ def run_panel(
             profiles=tuple(profiles),
             num_traces=num_traces,
             seed=seed,
+            probe_mode=probe_mode,
         )
     ]
 

@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Live-plane benchmark entry point (the PR 10 subscription gate).
+
+Registers a standing-query panel over the identical deterministic
+stream on every gate topology, compares each subscription's
+accumulated hit set against the same spec run post hoc, checks the
+push meter's separation against a subscription-free control, fires the
+seeded ≥1000-QPS analyst storm mid-ingest, and writes
+``BENCH_live.json`` next to this file.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/run_live_bench.py           # measure + write
+    PYTHONPATH=src python benchmarks/perf/run_live_bench.py --check   # gates
+    PYTHONPATH=src python benchmarks/perf/run_live_bench.py --check \
+        --traces 200 --storm-traces 240                             # CI smoke shape
+
+``--check`` exits non-zero when any gate fails:
+
+* **identity** — any subscription's accumulated hit set (ids or
+  delivered statuses) differs from its spec's post-hoc batch answer on
+  any topology (single, sharded, behind a *lossy* wire), or no
+  topology streamed a push mid-ingest (everything settling at finalize
+  would make the plane a batch query in disguise);
+* **separation** — any fig02/fig11 byte table, per-minute network
+  series or query signature moved between the subscribed run and its
+  subscription-free control, or push traffic failed to land on (and
+  only on) the ``push`` meter;
+* **storm** — the storm harness fell short of the target analyst QPS
+  in simulated time, the host could not have executed the queries at
+  that rate (wall capacity), the reported percentiles exclude the
+  wire, or the storm run's fingerprint diverged from the quiet
+  control's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from live_bench import (  # noqa: E402  (path bootstrap above)
+    DEFAULT_STORM_QPS,
+    DEFAULT_STORM_TRACES,
+    DEFAULT_TOPOLOGY_NAMES,
+    DEFAULT_TRACES,
+    WORKLOAD_BUILDERS,
+    build_live_stream,
+    identity_sweep,
+    run_storm_pair,
+)
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_live.json"
+)
+
+
+def run(args: argparse.Namespace) -> dict:
+    """Assemble the full BENCH_live report."""
+    report: dict = {
+        "benchmark": "live",
+        "units": {
+            "push_bytes": "bytes charged on the transport's push meter "
+            "(subscription notifications only — never the network meter)",
+            "p99_ms": "99th-percentile analyst query latency in "
+            "milliseconds, modeled wire round trip included",
+        },
+        "config": {
+            "workload": args.workload,
+            "traces": args.traces,
+            "storm_traces": args.storm_traces,
+            "storm_qps": args.storm_qps,
+            "topologies": list(args.topologies),
+            "seed": args.seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "identity": {},
+        "storm": {},
+    }
+
+    stream = build_live_stream(args.workload, args.traces)
+    for cell in identity_sweep(stream, tuple(args.topologies)):
+        report["identity"][cell.topology] = cell.as_dict()
+        print(
+            f"identity {cell.topology:12s} "
+            + (
+                f"bit-identical ({cell.pushes_streamed} streamed, "
+                f"{cell.pushes_settled} settled, {cell.push_bytes} push bytes)"
+                if cell.identical
+                else "VIOLATION: " + "; ".join(cell.violations)
+            )
+        )
+
+    storm = run_storm_pair(
+        args.workload,
+        num_traces=args.storm_traces,
+        storm_qps=args.storm_qps,
+        seed=args.seed,
+    )
+    report["storm"] = storm
+    print(
+        f"storm {storm['issued']} queries @ {storm['sim_qps']:.0f} QPS sim "
+        f"(capacity {storm['wall_capacity_qps']:.0f} QPS), "
+        f"p99 {storm['p99_ms']:.3f}ms (wire p99 {storm['wire_p99_ms']:.3f}ms), "
+        + ("converged with quiet control" if storm["converged"]
+           else "DIVERGED from quiet control")
+    )
+    return report
+
+
+def check(report: dict, storm_qps: float) -> list[str]:
+    """Apply the identity / separation / storm gates."""
+    failures: list[str] = []
+    identity = report["identity"]
+    for name, cell in identity.items():
+        if not cell["identical"]:
+            failures.append(f"identity {name}: {'; '.join(cell['violations'])}")
+    if len(identity) < 3:
+        failures.append(
+            f"identity sweep covers {len(identity)} topologies, "
+            "expected single + sharded + lossy-net"
+        )
+    if not any(cell["pushes_streamed"] > 0 for cell in identity.values()):
+        failures.append(
+            "no topology streamed a push mid-ingest — the plane degenerated "
+            "into a finalize-time batch query"
+        )
+    storm = report["storm"]
+    # A hair under the target is floating-point rounding on the
+    # schedule's duration quotient, not a sustained-rate miss.
+    if storm["sim_qps"] < storm_qps * 0.995:
+        failures.append(
+            f"storm sustained {storm['sim_qps']:.1f} QPS in simulated time, "
+            f"target {storm_qps:.0f}"
+        )
+    if storm["wall_capacity_qps"] < storm_qps:
+        failures.append(
+            f"storm wall-clock capacity {storm['wall_capacity_qps']:.1f} QPS "
+            f"below target {storm_qps:.0f} — the host cannot execute "
+            "queries at the claimed rate"
+        )
+    if storm["wire_p99_ms"] <= 0.0:
+        failures.append(
+            "storm wire p99 is zero — reported latency excludes the wire"
+        )
+    if not storm["converged"]:
+        failures.append(
+            "storm fingerprint diverged from the quiet control — analyst "
+            "load perturbed the figures"
+        )
+    sub = storm.get("subscription")
+    if sub is None or sub["hits"] <= 0:
+        failures.append(
+            "the storm's standing error subscription accumulated no hits — "
+            "the push plane was not exercised under load"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="onlineboutique",
+                        choices=list(WORKLOAD_BUILDERS))
+    parser.add_argument("--traces", type=int, default=DEFAULT_TRACES)
+    parser.add_argument(
+        "--topologies",
+        nargs="+",
+        default=list(DEFAULT_TOPOLOGY_NAMES),
+        choices=list(DEFAULT_TOPOLOGY_NAMES),
+        help="identity-sweep topologies",
+    )
+    parser.add_argument("--storm-traces", type=int, default=DEFAULT_STORM_TRACES)
+    parser.add_argument(
+        "--storm-qps",
+        type=float,
+        default=DEFAULT_STORM_QPS,
+        help="target analyst QPS for the storm (also the gate's floor)",
+    )
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate: exit 1 on identity/separation/storm violations",
+    )
+    parser.add_argument("--output", default=BENCH_PATH)
+    args = parser.parse_args(argv)
+
+    report = run(args)
+    failures = check(report, args.storm_qps) if args.check else []
+
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("\nGATE FAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    if args.check:
+        print("all live-plane gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

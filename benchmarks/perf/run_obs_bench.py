@@ -23,7 +23,10 @@ Usage (from the repo root)::
   (default 1.05x) over the obs-off build, best-of-``--repeats``;
 * **panel** — the detection-latency panel covers fewer than two
   topologies or two chaos profiles, or any cell fails to detect the
-  injected fault.
+  injected fault.  Since PR 10 the panel runs twice — ``panel`` is the
+  original polling probe loop, ``panel_push`` the live plane's
+  standing-subscription pager — and both flavours must detect in every
+  cell.
 """
 
 from __future__ import annotations
@@ -83,6 +86,7 @@ def run(args: argparse.Namespace) -> dict:
         "identity": {},
         "overhead": {},
         "panel": [],
+        "panel_push": [],
     }
 
     stream = build_obs_stream(args.workload, args.traces)
@@ -103,20 +107,26 @@ def run(args: argparse.Namespace) -> dict:
         f"{overhead['live_instruments']} live instruments)"
     )
 
-    report["panel"] = run_panel(
-        args.workload,
-        topologies=tuple(args.panel_topologies),
-        profiles=tuple(args.panel_profiles),
-        num_traces=args.panel_traces,
-        seed=args.seed,
-    )
-    for cell in report["panel"]:
-        latency = cell["detection_latency_s"]
-        print(
-            f"panel {cell['topology']:>10s} {cell['profile']:>9s} "
-            f"target={cell['target_service']:<24s} "
-            + (f"detected in {latency:.3f}s" if cell["detected"] else "NOT DETECTED")
+    # Both pager flavours over the identical grid: the polling loop
+    # (the PR 9 baseline) and the live plane's push subscription, so
+    # BENCH_obs records detection latency side by side per cell.
+    for key, probe_mode in (("panel", "poll"), ("panel_push", "push")):
+        report[key] = run_panel(
+            args.workload,
+            topologies=tuple(args.panel_topologies),
+            profiles=tuple(args.panel_profiles),
+            num_traces=args.panel_traces,
+            seed=args.seed,
+            probe_mode=probe_mode,
         )
+        for cell in report[key]:
+            latency = cell["detection_latency_s"]
+            print(
+                f"panel[{probe_mode}] {cell['topology']:>10s} {cell['profile']:>9s} "
+                f"target={cell['target_service']:<24s} "
+                + (f"detected in {latency:.3f}s" if cell["detected"]
+                   else "NOT DETECTED")
+            )
     return report
 
 
@@ -137,20 +147,21 @@ def check(report: dict, max_overhead: float) -> list[str]:
             f"overhead: obs-on costs {ratio:.4f}x obs-off "
             f"(bound {max_overhead:.2f}x)"
         )
-    panel = report["panel"]
-    topologies = {cell["topology"] for cell in panel}
-    profiles = {cell["profile"] for cell in panel}
-    if len(topologies) < 2 or len(profiles) < 2:
-        failures.append(
-            f"panel covers {len(topologies)} topologies x {len(profiles)} "
-            "profiles, expected at least 2 x 2"
-        )
-    for cell in panel:
-        if not cell["detected"]:
+    for key in ("panel", "panel_push"):
+        panel = report.get(key, [])
+        topologies = {cell["topology"] for cell in panel}
+        profiles = {cell["profile"] for cell in panel}
+        if len(topologies) < 2 or len(profiles) < 2:
             failures.append(
-                f"panel {cell['topology']}/{cell['profile']}: fault on "
-                f"{cell['target_service']} never detected"
+                f"{key} covers {len(topologies)} topologies x {len(profiles)} "
+                "profiles, expected at least 2 x 2"
             )
+        for cell in panel:
+            if not cell["detected"]:
+                failures.append(
+                    f"{key} {cell['topology']}/{cell['profile']}: fault on "
+                    f"{cell['target_service']} never detected"
+                )
     return failures
 
 

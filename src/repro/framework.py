@@ -126,6 +126,11 @@ class MintFramework(TracingFramework):
         # parse/sample hot path onto worker lanes; the framework stays
         # the single writer — every report still crosses self.transport
         # here, in sequential order, at the plane's apply barriers.
+        # The live query plane (standing-query subscriptions) is built
+        # lazily on the first ``subscribe`` — a framework without
+        # analysts pays nothing, and the on_sampled/push_sink seams
+        # stay unclaimed for other layers to observe.
+        self._live = None
         self._plane = None
         if self.deployment.is_parallel:
             from repro.concurrent.plane import ParallelIngestPlane
@@ -268,6 +273,13 @@ class MintFramework(TracingFramework):
         # recovered bytes are metered).  A backend without a failover
         # supervisor settles as a no-op.
         self.backend.settle()
+        if self._live is not None:
+            # The standing-query catch-up sweep runs against the settled
+            # store, then its pushes are drained through the wire — so a
+            # finalized subscription's hit set equals the post-hoc batch
+            # query by construction.
+            self._live.settle()
+            self.transport.drain()
         self.transport.sync_storage()
 
     # ------------------------------------------------------------------
@@ -316,6 +328,66 @@ class MintFramework(TracingFramework):
     def stored_trace_ids(self) -> set[str]:
         self._quiesce()
         return set(self.backend.storage.params)
+
+    # ------------------------------------------------------------------
+    # Live query plane (standing-query subscriptions)
+    # ------------------------------------------------------------------
+    def subscribe(self, spec: QuerySpec, on_push=None):
+        """Register ``spec`` as a standing query; returns the
+        :class:`~repro.live.subscription.Subscription` handle.
+
+        New sampled traces matching the spec stream to the handle as
+        push notifications — over the simulated wire (dedicated
+        ``push::`` links, the separate ``push`` meter) on a networked
+        deployment, synchronously in-process otherwise.  The handle's
+        accumulated hit set after :meth:`finalize` is bit-identical to
+        running the same spec through :meth:`execute`.
+        """
+        return self._live_plane().subscribe(spec, on_push=on_push)
+
+    def unsubscribe(self, sub) -> None:
+        """Deactivate one standing query (handle or subscription id)."""
+        self._live_plane().unsubscribe(sub)
+
+    def _live_plane(self):
+        """The lazily built live query plane (one per framework)."""
+        if self._live is None:
+            from repro.live.plane import LiveQueryPlane
+
+            d = self.deployment
+            # Time-window specs may only commit mid-stream when nothing
+            # can still be in flight at evaluation time: reports queued
+            # on a latent wire, parked by shard chaos, or buffered in
+            # worker lanes could all move a trace's reconstructed
+            # envelope after an eager push — and pushes are
+            # irrevocable.  Everything else streams on any topology.
+            eager_time_range = (
+                d.workers == 0
+                and d.shard_chaos is None
+                and (d.network is None or d.network.is_instantaneous)
+            )
+            self._live = LiveQueryPlane(
+                self.backend,
+                self.transport,
+                observer=self.observer,
+                eager_time_range=eager_time_range,
+            )
+        return self._live
+
+    def live_stats(self) -> dict | None:
+        """The live plane's counters, or None before any ``subscribe``."""
+        return self._live.stats() if self._live is not None else None
+
+    @property
+    def push_bytes(self) -> int:
+        """Standing-query push traffic, confined to the ``push`` meter.
+
+        Streaming matches to analysts is real network work, but it
+        must never perturb the fig02/fig11 byte tables — the same
+        separation discipline as :attr:`retransmit_bytes` and
+        :attr:`migration_bytes`.  Always 0 without subscriptions.
+        """
+        return self.transport.push.total_bytes
 
     # ------------------------------------------------------------------
     # Concurrent-plane surface (parallel deployments only)

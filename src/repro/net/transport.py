@@ -160,6 +160,13 @@ class NetworkDescriptor:
 # reports and never shows up in the autoscaler's queue-depth signal.
 MIGRATION_LINK_PREFIX = "migrate::"
 
+# Standing-query pushes ride per-subscription *push links*: the
+# backend->subscriber direction gets the full wire model (batching,
+# latency, chaos, reliable retries) without ever queueing behind live
+# ingest or registering on the autoscaler's pressure signal — the same
+# link-namespace discipline as migration traffic.
+PUSH_LINK_PREFIX = "push::"
+
 # The standard harness wire for chaos sweeps — batching and a little
 # latency so the wire's mechanics are on the measured path, and a retry
 # timer short enough for CI-sized streams.  The net bench, the sim
@@ -284,6 +291,27 @@ class NetTransport(LocalTransport):
         self.migration.record(report.size_bytes(), self._sim.now)
         self._enqueue(MIGRATION_LINK_PREFIX + report.node, report, report.size_bytes())
 
+    def deliver_push(self, message) -> None:
+        """Queue one push notification on its subscription's push link.
+
+        Charged on the ``push`` meter only, at enqueue time — the same
+        instant ``LocalTransport`` charges — so the push meter's totals
+        are batching- and chaos-invariant like the network meter's.
+        The batch then rides the ordinary reliable machinery: chaos can
+        drop or duplicate it, retries re-carry it, and the per-link
+        sequence numbers give the subscriber's sink a deterministic
+        message id for its own idempotence check.  (Like ``deliver``,
+        this is never called from inside the scheduler — the live plane
+        pushes from the ingest/finalize path — so ``_enqueue``'s
+        immediate pump cannot re-enter.)
+        """
+        self._advance()
+        self.push.record(message.size_bytes(), self._sim.now)
+        self._obs_push_messages.inc()
+        self._enqueue(
+            PUSH_LINK_PREFIX + message.subscription_id, message, message.size_bytes()
+        )
+
     def wire_now(self) -> float:
         """The simulated-network clock — read-only, never pumps.
 
@@ -297,17 +325,21 @@ class NetTransport(LocalTransport):
         return max(self._ext_clock(), self._sim.now)
 
     def queue_depths(self) -> dict[str, int]:
-        """Reports waiting per ingest link (migration links excluded).
+        """Reports waiting per ingest link (migration/push links excluded).
 
         This is the autoscaler's pressure signal: the backlog a shard's
         hosts have committed to the wire but the plane has not flushed.
         Migration links are deliberately invisible here — resharding
-        pressure must not retrigger the autoscaler that caused it.
+        pressure must not retrigger the autoscaler that caused it —
+        and push links likewise: a popular standing query is analyst
+        load, not ingest pressure.
         """
         return {
             link: len(queue)
             for link, queue in self._queues.items()
-            if queue and not link.startswith(MIGRATION_LINK_PREFIX)
+            if queue
+            and not link.startswith(MIGRATION_LINK_PREFIX)
+            and not link.startswith(PUSH_LINK_PREFIX)
         }
 
     def _enqueue(self, link: str, report: "Report", size: int) -> None:
@@ -457,6 +489,15 @@ class NetTransport(LocalTransport):
             # never pumped — the wire_now discipline — so the series is
             # bit-reproducible across identical seeded runs.
             self.observer.observe_sim("net_queue_wait", queue_wait, link=batch.link)
+        if batch.link.startswith(PUSH_LINK_PREFIX):
+            # Push batches route to the subscription plane's sink, not
+            # the backend store.  The (link, seq, index) id rides along
+            # so the sink's per-(subscription, trace) dedup has the
+            # same second line of defence ``BackendPlane.receive`` has.
+            if self.push_sink is not None:
+                for index, message in enumerate(batch.reports):
+                    self.push_sink(message, (batch.link, batch.seq, index))
+            return
         for index, report in enumerate(batch.reports):
             self.backend.receive(report, message_id=(batch.link, batch.seq, index))
 
@@ -575,6 +616,7 @@ class NetTransport(LocalTransport):
             "queued_reports": self.queued_reports,
             "in_flight_batches": self.in_flight_batches,
             "retransmit_bytes": self.retransmit.total_bytes,
+            "push_bytes": self.push.total_bytes,
             "totals": totals.as_dict(),
             "per_link": {
                 link: stats.as_dict() for link, stats in sorted(self.link_stats.items())

@@ -37,6 +37,7 @@ def build_report(
             "physical_storage_bytes": framework.physical_storage_bytes,
             "retransmit_bytes": framework.retransmit_bytes,
             "migration_bytes": framework.migration_bytes,
+            "push_bytes": framework.push_bytes,
         },
         "meters": {
             "network_per_minute": [
@@ -54,6 +55,7 @@ def build_report(
         "net": framework.net_stats(),
         "elastic": framework.elastic_stats(),
         "cold": framework.cold_stats(),
+        "live": framework.live_stats(),
         "query": dict(framework.backend.plan_totals.as_dict()),
         "shards": [row.as_dict() for row in framework.shard_meter_rows()],
     }

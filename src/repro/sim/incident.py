@@ -19,6 +19,15 @@ recent-trace window, no parameter pull, so probing never pumps the
 wire's clock); on a lossy wire the store lags the stream, which is
 exactly the effect the panel exists to show — chaos shows up as added
 detection latency, not as a different answer.
+
+Since the live analyst plane (PR 10) the probe loop has two modes:
+``push`` rides a standing error-only subscription — each accepted push
+notification is the analyst's pager, and every ``push_probe_every``-th
+one after the fault triggers an RCA probe at the push's wire-time
+arrival stamp; ``poll`` is the original fixed-cadence loop, kept as
+the fallback for ``observability=False`` deployments (and for
+side-by-side comparison in the obs bench).  ``auto`` picks push
+whenever the deployment's observability plane is on.
 """
 
 from __future__ import annotations
@@ -87,6 +96,7 @@ class IncidentResult:
     detected: bool
     faulty_traces: int
     traces: int
+    probe_mode: str = "poll"
     probes: list[IncidentProbe] = field(default_factory=list)
 
     def as_dict(self) -> dict[str, Any]:
@@ -94,6 +104,7 @@ class IncidentResult:
             "workload": self.workload,
             "topology": self.topology,
             "profile": self.profile,
+            "probe_mode": self.probe_mode,
             "target_service": self.target_service,
             "fault_type": self.fault_type,
             "fault_time_s": round(self.fault_time_s, 6),
@@ -181,20 +192,28 @@ def run_incident(
     fault_rate: float = 0.65,
     probe_every: int = 30,
     probe_window: int = DEFAULT_PROBE_WINDOW,
+    probe_mode: str = "auto",
+    push_probe_every: int = 5,
     seed: int = 11,
     requests_per_minute: float = 6000.0,
     deployment: Deployment | None = None,
 ) -> IncidentResult:
     """Run one incident cell end to end and measure detection latency.
 
-    The probe loop starts at the fault and re-runs every
-    ``probe_every`` ingested traces until RCA names the target.  If no
-    mid-run probe detects (a lossy wire can keep the store behind the
-    stream for the whole run), a final probe after ``finalize`` runs
-    against the converged store — detection then costs the full
-    drain-to-convergence latency, which is the honest number.
+    In ``push`` mode the analyst holds a standing error-only
+    subscription: every ``push_probe_every``-th accepted push after the
+    fault triggers an RCA probe at the push's arrival time — the pager
+    rings, the analyst looks.  In ``poll`` mode the original loop
+    re-runs every ``probe_every`` ingested traces.  ``auto`` picks push
+    when the deployment's observability plane is on, poll otherwise.
+    Either way, if no mid-run probe detects (a lossy wire can keep the
+    store behind the stream for the whole run), a final probe after
+    ``finalize`` runs against the converged store — detection then
+    costs the full drain-to-convergence latency, which is the honest
+    number.
     """
     from repro.framework import MintFramework
+    from repro.query.spec import QuerySpec
 
     workload = _WORKLOAD_BUILDERS[workload_name]()
     stream, target, fault_time, faulty_ids = _build_incident_stream(
@@ -204,12 +223,18 @@ def run_incident(
     duration_s = stream[-1][0] if stream else 0.0
     if deployment is None:
         deployment = incident_deployment(topology, profile, duration_s)
+    if probe_mode == "auto":
+        probe_mode = "push" if deployment.observability else "poll"
+    if probe_mode not in ("push", "poll"):
+        raise ValueError(f"unknown probe_mode {probe_mode!r}")
     framework = MintFramework(deployment=deployment)
     rca = TraceRCA()
     recent: deque[str] = deque(maxlen=probe_window)
     probes: list[IncidentProbe] = []
     detected_time: float | None = None
     last_now = 0.0
+    seen_traces = 0
+    pushes_after_fault = 0
 
     def probe(now: float, seen: int) -> None:
         nonlocal detected_time
@@ -222,12 +247,29 @@ def run_incident(
         if hit and detected_time is None:
             detected_time = now
 
+    if probe_mode == "push":
+        # The pager: a standing error-only query.  The callback fires on
+        # each accepted push at its wire-time arrival — on a lossy wire
+        # the pushes themselves lag, and that lag honestly lands in the
+        # measured detection latency.
+        def on_push(note, now: float) -> None:
+            nonlocal pushes_after_fault
+            if detected_time is not None or now < fault_time:
+                return
+            pushes_after_fault += 1
+            if pushes_after_fault % push_probe_every == 0:
+                probe(now, seen_traces)
+
+        framework.subscribe(QuerySpec.where(error_only=True), on_push=on_push)
+
     for i, (now, trace) in enumerate(stream):
+        seen_traces = i + 1
         framework.process_trace(trace, now)
         recent.append(trace.trace_id)
         last_now = now
         if (
-            detected_time is None
+            probe_mode == "poll"
+            and detected_time is None
             and now >= fault_time
             and (i + 1) % probe_every == 0
         ):
@@ -253,6 +295,7 @@ def run_incident(
         detected=detected_time is not None,
         faulty_traces=len(faulty_ids),
         traces=len(stream),
+        probe_mode=probe_mode,
         probes=probes,
     )
 

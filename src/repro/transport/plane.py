@@ -62,6 +62,12 @@ class BackendPlane(abc.ABC):
     def __init__(self, notify_meter: NotifyMeter | None = None) -> None:
         self.notify_meter = notify_meter
         self.flush_transport: Callable[[], None] | None = None
+        # Post-sampling hook: called once per newly sampled trace id,
+        # after the fleet-wide notification fan-out.  Claimed by the
+        # live query plane (standing-query matching rides this seam) the
+        # same way a transport claims ``flush_transport`` — an explicit
+        # hook is never overwritten.
+        self.on_sampled: Callable[[str], None] | None = None
         self._collectors: list["MintCollector"] = []
         self._notified_trace_ids: set[str] = set()
         # Per-channel high-water marks for message-id dedup: O(links)
@@ -191,6 +197,11 @@ class BackendPlane(abc.ABC):
             if self.notify_meter is not None:
                 self.notify_meter(collector.node, NOTIFY_MESSAGE_BYTES)
             collector.mark_sampled(trace_id)
+        if self.on_sampled is not None:
+            # After the fan-out: on a synchronous wire every collector's
+            # buffered state for this trace has already been stored, so
+            # standing queries evaluate against the settled view.
+            self.on_sampled(trace_id)
 
     # ------------------------------------------------------------------
     # Query plane

@@ -26,10 +26,17 @@ from repro.sim.meters import Meter, OverheadLedger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.reports import Report
+    from repro.live.subscription import PushNotification
     from repro.transport.plane import BackendPlane
 
 # Simulated-time source for meter timestamps (the framework's clock).
 Clock = Callable[[], float]
+
+# The backend->subscriber delivery callback: called with each arriving
+# push notification and its per-channel message id (None on an
+# exactly-once in-process wire).  Claimed by the live query plane the
+# same way the backend's ``flush_transport`` hook is claimed.
+PushSink = Callable[["PushNotification", "tuple | None"], None]
 
 
 @runtime_checkable
@@ -61,11 +68,24 @@ class Transport(Protocol):
     # perturb the byte tables it is measured against.
     physical_storage: Meter
 
+    # Standing-query push traffic (backend -> subscriber), charged here
+    # and never on the network meter: the fig02/fig11 byte tables must
+    # be subscription-invariant, exactly as they are loss- and
+    # reshard-invariant.
+    push: Meter
+
+    # Where arriving push notifications land (the live query plane's
+    # delivery callback); None until a subscription plane claims it.
+    push_sink: PushSink | None
+
     def deliver(self, report: "Report") -> None:
         """Ship one report to the backend, metering its wire size."""
 
     def deliver_migration(self, report: "Report") -> None:
         """Ship one resharding report, metered on ``migration`` only."""
+
+    def deliver_push(self, message: "PushNotification") -> None:
+        """Ship one push notification, metered on ``push`` only."""
 
     def notify(self, node: str, nbytes: int) -> None:
         """Meter one backend->collector control message."""
@@ -125,6 +145,12 @@ class LocalTransport:
         # The physical side of the storage split (see sync_storage).
         self.physical_storage = Meter("physical_storage")
         self._last_physical_storage = 0
+        # Standing-query pushes: separate meter, separate sink.  The
+        # sink stays None until a live query plane claims it; a push
+        # sent with no sink is metered and dropped on the floor, which
+        # cannot happen in practice (only the plane sends pushes).
+        self.push = Meter("push")
+        self.push_sink: PushSink | None = None
         if backend.notify_meter is None:
             backend.notify_meter = self.notify
         self.bind_observer(NULL_OBSERVER)
@@ -151,6 +177,9 @@ class LocalTransport:
         )
         self._obs_migration_reports = observer.counter(
             "mint_transport_migration_reports", plane="transport"
+        )
+        self._obs_push_messages = observer.counter(
+            "mint_transport_push_messages", plane="transport"
         )
         self._obs_deliver_hist = observer.stage_histogram("transport_deliver")
         self._obs_storage_gauge = observer.gauge("mint_storage_bytes", plane="storage")
@@ -181,6 +210,21 @@ class LocalTransport:
         self.migration.record(report.size_bytes(), self.wire_now())
         self._obs_migration_reports.inc()
         self.backend.receive(report)
+
+    def deliver_push(self, message: "PushNotification") -> None:
+        """Backend -> subscriber push: ``push`` meter only, synchronous.
+
+        Never charges the network meter or a shard ledger — the
+        fig02/fig11 byte tables must be subscription-invariant, with
+        the push plane's cost visible on its own meter, exactly as
+        migration traffic is.  In-process delivery is exactly-once, so
+        no message id is attached (the subscription's own
+        per-(subscription, trace) dedup still applies downstream).
+        """
+        self.push.record(message.size_bytes(), self.wire_now())
+        self._obs_push_messages.inc()
+        if self.push_sink is not None:
+            self.push_sink(message, None)
 
     def wire_now(self) -> float:
         """The wire's clock (the caller's clock on an in-process wire)."""

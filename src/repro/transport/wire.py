@@ -18,6 +18,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # accounts for the notify direction must use this one constant.
 NOTIFY_MESSAGE_BYTES = 64
 
+# The size of a backend->subscriber push notification: subscription id
+# + trace id + match status + header.  Push traffic is charged on the
+# transport's separate ``push`` meter, never on the network meter, so
+# the fig02/fig11 byte tables are subscription-invariant — the same
+# separation discipline as retransmit and migration bytes.
+PUSH_MESSAGE_BYTES = 96
+
 # Called with (collector_node, payload_bytes) whenever the backend
 # sends a control message toward a collector, so deployments can charge
 # the backend->agent direction of the network.

@@ -95,6 +95,26 @@ class QueryWorkload:
             self.sample_queries(records, count), pull_params=pull_params
         )
 
+    def storm_schedule(
+        self, qps: float, count: int, seed: int = 0
+    ) -> list[float]:
+        """Deterministic arrival times of a sustained-QPS query storm.
+
+        A pure function of ``(qps, count, seed)`` — its own seeded RNG,
+        never the instance's, and no wall clock anywhere: arrival *i*
+        lands uniformly inside its own ``1/qps`` slot, so the schedule
+        sustains exactly ``qps`` arrivals per simulated second with
+        seeded jitter, and is strictly increasing (one arrival per
+        slot).  The storm harness replays it against the ingest clock;
+        identical arguments give identical storms on every machine.
+        """
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        rng = random.Random(f"storm:{qps}:{seed}")
+        return [(i + rng.random()) / qps for i in range(count)]
+
 
 def incident_window_spec(
     records: list[TraceRecord],
